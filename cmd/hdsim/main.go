@@ -1,0 +1,138 @@
+// Command hdsim runs one HD classification of a configurable workload
+// geometry on a chosen simulated platform and reports per-kernel
+// cycles, the frequency required for a latency budget, power and
+// memory footprint — a what-if calculator over the calibrated models.
+//
+// Usage:
+//
+//	hdsim -arch wolf-builtin -cores 8 -d 10000 -channels 64 -ngram 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pulphd/internal/hdc"
+	"pulphd/internal/isa"
+	"pulphd/internal/kernels"
+	"pulphd/internal/power"
+	"pulphd/internal/pulp"
+)
+
+var (
+	arch     = flag.String("arch", "wolf-builtin", "platform: pulpv3, wolf, wolf-builtin or m4")
+	cores    = flag.Int("cores", 8, "active cores (1–4 PULPv3, 1–8 Wolf, 1 M4)")
+	dim      = flag.Int("d", 10000, "hypervector dimensionality")
+	channels = flag.Int("channels", 4, "input channels")
+	ngram    = flag.Int("ngram", 1, "temporal N-gram size")
+	classes  = flag.Int("classes", 5, "associative-memory classes")
+	latency  = flag.Float64("latency", 0.010, "detection latency budget in seconds")
+	voltage  = flag.Float64("voltage", 0.7, "cluster voltage for the power model (PULPv3/Wolf)")
+	showOps  = flag.Bool("ops", false, "print the per-kernel primitive-op histogram")
+)
+
+func main() {
+	flag.Parse()
+	plat, powerOf, err := platform()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdsim: %v\n", err)
+		os.Exit(2)
+	}
+
+	chain := kernels.SyntheticChain(*dim, *channels, *ngram, *classes, 1)
+	_, work := chain.Classify(chain.SyntheticWindow(2))
+	results, total := plat.RunChain(work.Kernels())
+
+	if *showOps {
+		printOps(plat, work.Kernels())
+	}
+
+	fmt.Printf("platform: %s   workload: %d-D × %d ch × N=%d × %d classes\n\n",
+		plat.Name, *dim, *channels, *ngram, *classes)
+	fmt.Println("kernel        cycles     compute    serial  runtime  DMA(visible/hidden)")
+	for _, r := range results {
+		fmt.Printf("%-13s %-10d %-10d %-7d %-8d %d/%d\n",
+			r.Name, r.Total(), r.ComputeCycles, r.SerialCycles, r.RuntimeCycles,
+			r.DMACycles, r.HiddenDMACycles)
+	}
+	fmt.Printf("%-13s %d\n\n", "TOTAL", total)
+
+	freq, ok := plat.FrequencyForLatency(total, *latency)
+	budget := fmt.Sprintf("%.2f MHz for %.1f ms", freq, *latency*1e3)
+	if !ok {
+		budget += fmt.Sprintf("  — EXCEEDS the %.0f MHz ceiling", plat.ISA.MaxFreqMHz)
+	}
+	fmt.Printf("frequency: %s\n", budget)
+	if b, have := powerOf(freq); have {
+		fmt.Printf("power:     FLL %.2f + SoC %.2f + cluster %.2f = %.2f mW\n",
+			b.FLL, b.SoC, b.Cluster, b.Total())
+		fmt.Printf("energy:    %.2f µJ per classification\n",
+			power.EnergyPerClassification(b.Total(), total, freq))
+	}
+
+	cfg := hdc.EMGConfig()
+	cfg.D = *dim
+	cfg.Channels = *channels
+	cfg.NGram = *ngram
+	cfg.Window = *ngram
+	fp := hdc.MustNew(cfg).Footprint(*classes)
+	fmt.Printf("footprint: %.1f kB (CIM %.1f + IM %.1f + AM %.1f + L1 buffers %.1f)\n",
+		float64(fp.Total())/1024,
+		float64(fp.CIMBytes)/1024, float64(fp.IMBytes)/1024, float64(fp.AMBytes)/1024,
+		float64(fp.SpatialBytes+fp.NGramBytes+fp.BoundBytes)/1024)
+	if fp.Total() > plat.L2Bytes && plat.L2Bytes > 0 {
+		fmt.Printf("warning:   footprint exceeds the platform's %d kB L2\n", plat.L2Bytes/1024)
+	}
+}
+
+// printOps dumps each kernel's primitive-op histogram with the
+// platform's per-op costs, the raw material of the cycle model.
+func printOps(plat pulp.Platform, works []pulp.KernelWork) {
+	fmt.Printf("primitive-op histogram (%s cost table):\n", plat.ISA.Name)
+	for _, w := range works {
+		fmt.Printf("  %s (parallel over %d items):\n", w.Name, w.Items)
+		for op := isa.Load; op <= isa.MAC; op++ {
+			if n := w.Parallel.N[op]; n > 0 {
+				fmt.Printf("    %-11s %12d × %d cyc\n", op.String(), n, plat.ISA.Costs[op])
+			}
+		}
+		if w.Parallel.LoopIters > 0 {
+			fmt.Printf("    %-11s %12d × %d cyc\n", "loop", w.Parallel.LoopIters, plat.ISA.LoopOverhead)
+		}
+	}
+	fmt.Println()
+}
+
+// platform resolves the -arch/-cores flags to a platform and its
+// power model (M4 power ignores voltage; Wolf power is an
+// extrapolation, see power.WolfPower).
+func platform() (pulp.Platform, func(freqMHz float64) (power.Breakdown, bool), error) {
+	switch *arch {
+	case "pulpv3":
+		if *cores < 1 || *cores > 4 {
+			return pulp.Platform{}, nil, fmt.Errorf("pulpv3 supports 1–4 cores, got %d", *cores)
+		}
+		n := *cores
+		return pulp.PULPv3Platform(n), func(f float64) (power.Breakdown, bool) {
+			return power.PULPv3Power(power.OperatingPoint{VoltageV: *voltage, FreqMHz: f}, n), true
+		}, nil
+	case "wolf", "wolf-builtin":
+		if *cores < 1 || *cores > 8 {
+			return pulp.Platform{}, nil, fmt.Errorf("wolf supports 1–8 cores, got %d", *cores)
+		}
+		n := *cores
+		return pulp.WolfPlatform(n, *arch == "wolf-builtin"), func(f float64) (power.Breakdown, bool) {
+			return power.WolfPower(power.OperatingPoint{VoltageV: *voltage, FreqMHz: f}, n), true
+		}, nil
+	case "m4":
+		if *cores != 1 {
+			return pulp.Platform{}, nil, fmt.Errorf("the M4 has one core")
+		}
+		return pulp.CortexM4Platform(), func(f float64) (power.Breakdown, bool) {
+			return power.CortexM4Power(f), true
+		}, nil
+	default:
+		return pulp.Platform{}, nil, fmt.Errorf("unknown arch %q", *arch)
+	}
+}

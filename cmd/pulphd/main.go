@@ -1,0 +1,193 @@
+// Command pulphd regenerates the evaluation of "PULP-HD: Accelerating
+// Brain-Inspired High-Dimensional Computing on a Parallel Ultra-Low
+// Power Platform" (DAC 2018): every table and figure plus the
+// extension studies, on the synthetic EMG campaign and the calibrated
+// platform models.
+//
+// Usage:
+//
+//	pulphd [flags] <experiment>...
+//
+// Experiments: accuracy dimsweep table1 table2 table3 fig3 fig4 fig5
+// faults ablation all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"pulphd/internal/eeg"
+	"pulphd/internal/emg"
+	"pulphd/internal/experiments"
+)
+
+var (
+	seed       = flag.Int64("seed", 2018, "dataset generation seed")
+	subjects   = flag.Int("subjects", 5, "number of synthetic subjects")
+	difficulty = flag.Float64("difficulty", 1.0, "within-class variability of the synthetic EMG campaign")
+	format     = flag.String("format", "text", "output format: text, csv or json")
+	verbose    = flag.Bool("v", false, "print timing per experiment")
+)
+
+type runner func(*experiments.Prepared) (*experiments.Table, error)
+
+var registry = map[string]runner{
+	"accuracy": func(p *experiments.Prepared) (*experiments.Table, error) {
+		r, err := experiments.Accuracy(p, 10000)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"dimsweep": func(p *experiments.Prepared) (*experiments.Table, error) {
+		r := experiments.DimSweep(p, []int{10000, 5000, 2000, 1000, 500, 200, 100})
+		return r.Table(), nil
+	},
+	"table1": func(p *experiments.Prepared) (*experiments.Table, error) {
+		r, err := experiments.Table1(p)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"table2": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.Table2(p).Table(), nil
+	},
+	"table3": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.Table3(p).Table(), nil
+	},
+	"fig3": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.Fig3(p).Table(), nil
+	},
+	"fig4": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.Fig4(p).Table(), nil
+	},
+	"fig5": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.Fig5(p).Table(), nil
+	},
+	"faults": func(p *experiments.Prepared) (*experiments.Table, error) {
+		r := experiments.Faults(p, 10000, []float64{0, 5, 10, 20, 30, 40, 45, 48})
+		return r.Table(), nil
+	},
+	"ablation": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.Ablation(p).Table(), nil
+	},
+	"smoothing": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.Smoothing(p, 10000, []int{1, 9, 75, 401}).Table(), nil
+	},
+	"online": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.Online(p, 10000, 3).Table(), nil
+	},
+	"ngram": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.NGramStudy(10000, []int{1, 2, 3}, 40, 40, 1.0, 7).Table(), nil
+	},
+	"confusion": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.Confusion(p, 10000).Table(), nil
+	},
+	"eeg": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.EEG(eeg.DefaultProtocol(), 4000, []int{1, 3, 5, 9, 15, 29}).Table(), nil
+	},
+	"langid": func(p *experiments.Prepared) (*experiments.Table, error) {
+		r, err := experiments.LangID(10000, []int{2, 3, 4, 5})
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"margins": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.Margins(p, 10000).Table(), nil
+	},
+	"drift": func(p *experiments.Prepared) (*experiments.Table, error) {
+		proto := p.Protocol
+		return experiments.DriftStudy(proto, 10000, 0.8, 0.995).Table(), nil
+	},
+	"training": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.TrainingCost(p).Table(), nil
+	},
+	"fusion": func(p *experiments.Prepared) (*experiments.Table, error) {
+		r, err := experiments.Fusion(10000, 40, 0.8, 55)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"truncation": func(p *experiments.Prepared) (*experiments.Table, error) {
+		return experiments.Truncation(p, 10000, []int{2000, 500, 200, 100}).Table(), nil
+	},
+	"summary": experiments.Summary,
+}
+
+// order fixes the presentation sequence for "all".
+var order = []string{
+	"accuracy", "dimsweep", "table1", "table2", "table3",
+	"fig3", "fig4", "fig5", "faults", "ablation",
+	"smoothing", "online", "ngram", "confusion", "eeg", "langid", "margins", "drift", "training", "fusion",
+	"truncation", "summary",
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var names []string
+	for _, a := range args {
+		if a == "all" {
+			names = append(names, order...)
+			continue
+		}
+		if _, ok := registry[a]; !ok {
+			fmt.Fprintf(os.Stderr, "pulphd: unknown experiment %q\n", a)
+			usage()
+			os.Exit(2)
+		}
+		names = append(names, a)
+	}
+
+	proto := emg.DefaultProtocol()
+	proto.Seed = *seed
+	proto.Subjects = *subjects
+	proto.Difficulty = *difficulty
+	start := time.Now()
+	prepared := experiments.Prepare(proto, 1)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "dataset prepared in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	for _, name := range names {
+		t0 := time.Now()
+		tbl, err := registry[name](prepared)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pulphd: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := tbl.Render(os.Stdout, *format); err != nil {
+			fmt.Fprintf(os.Stderr, "pulphd: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%s finished in %v\n", name, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: pulphd [flags] <experiment>...\n\nexperiments:\n")
+	names := make([]string, 0, len(registry)+1)
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "  %s\n", n)
+	}
+	fmt.Fprintf(os.Stderr, "  all\n\nflags:\n")
+	flag.PrintDefaults()
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pulphd/internal/emg"
+	"pulphd/internal/experiments"
+)
+
+func TestOrderMatchesRegistry(t *testing.T) {
+	if len(order) != len(registry) {
+		t.Fatalf("order lists %d experiments, registry has %d", len(order), len(registry))
+	}
+	seen := map[string]bool{}
+	for _, name := range order {
+		if _, ok := registry[name]; !ok {
+			t.Errorf("order entry %q not in registry", name)
+		}
+		if seen[name] {
+			t.Errorf("order entry %q duplicated", name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestCheapExperimentsProduceTables drives every simulator-only
+// experiment end to end on a tiny campaign; the data-heavy ones are
+// covered by the experiments package tests and the bench suite.
+func TestCheapExperimentsProduceTables(t *testing.T) {
+	proto := emg.DefaultProtocol()
+	proto.Subjects = 1
+	proto.Repetitions = 4
+	prepared := experiments.Prepare(proto, 1)
+	for _, name := range []string{"table2", "table3", "fig3", "fig4", "fig5", "ablation", "langid"} {
+		tbl, err := registry[name](prepared)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		out := tbl.String()
+		if !strings.Contains(out, "===") || len(tbl.Rows) == 0 {
+			t.Errorf("%s: degenerate table:\n%s", name, out)
+		}
+	}
+}

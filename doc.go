@@ -1,0 +1,10 @@
+// Package pulphd is the root of a Go reproduction of "PULP-HD:
+// Accelerating Brain-Inspired High-Dimensional Computing on a Parallel
+// Ultra-Low Power Platform" (Montagna et al., DAC 2018).
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); runnable entry points are cmd/pulphd and the
+// programs under examples/. The root package exists to host the
+// repository-wide benchmark suite (bench_test.go), one benchmark per
+// table and figure of the paper's evaluation.
+package pulphd

@@ -1,0 +1,30 @@
+// EEG-style brain-machine-interface classification — the workload the
+// paper's scalability study targets (§5.2): error-related potentials
+// whose classes differ only in waveform time course, demanding the
+// wide temporal windows (N-grams up to 29, [21]) that the accelerator
+// is shown to scale to. This example runs the full pipeline: epoch
+// synthesis, low-pass/decimate preprocessing, HD training per N-gram
+// size, and the accelerator cycle cost of each configuration.
+package main
+
+import (
+	"fmt"
+
+	"pulphd/internal/eeg"
+	"pulphd/internal/experiments"
+)
+
+func main() {
+	proto := eeg.DefaultProtocol()
+	fmt.Printf("synthesizing %d subjects × 2 classes × %d epochs (%d ch @ %.0f Hz)…\n",
+		proto.Subjects, proto.TrialsPerClass, proto.Channels, proto.SampleRate)
+	fmt.Println("classes share identical amplitude statistics; only the ERP time course differs")
+
+	r := experiments.EEG(proto, 4000, []int{1, 5, 15, 29})
+	fmt.Println("\nN-gram  accuracy  Wolf-8c kcycles")
+	for i, n := range r.NGrams {
+		fmt.Printf("N=%-5d %5.1f%%    %.0f\n", n, 100*r.MeanAcc[i], r.KCycles[i])
+	}
+	fmt.Println("\nspatial-only encoding (N=1) is blind to the waveform; the")
+	fmt.Println("29-gram window of [21] recovers it, at linearly growing cycle cost")
+}

@@ -1,0 +1,90 @@
+// EMG hand-gesture recognition end to end, the paper's driving
+// application (§4): synthesize a 5-subject recording campaign,
+// preprocess it (50 Hz notch + envelope extraction), train the
+// 10,000-D HD classifier per subject on 25% of the trials, test on
+// everything, and run a few classifications through the simulated
+// PULP accelerator to show cycle counts and energy.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"pulphd/internal/emg"
+	"pulphd/internal/hdc"
+	"pulphd/internal/kernels"
+	"pulphd/internal/power"
+	"pulphd/internal/pulp"
+)
+
+func main() {
+	proto := emg.DefaultProtocol()
+	fmt.Printf("synthesizing %d subjects × %d gestures × %d reps at %.0f Hz…\n",
+		proto.Subjects, int(emg.NumGestures), proto.Repetitions, proto.SampleRate)
+	ds := emg.Generate(proto)
+	pre := emg.NewPreprocessor(proto.Channels, proto.SampleRate, 4, math.Sqrt(math.Pi/2))
+
+	fmt.Println("\nsubject  train-windows  test-windows  accuracy")
+	var lastCls *hdc.Classifier
+	for s := 0; s < proto.Subjects; s++ {
+		cls := hdc.MustNew(hdc.EMGConfig())
+		train, test := ds.Split(s)
+
+		nTrain := 0
+		for _, tr := range train {
+			for _, w := range emg.Windows(pre.Process(tr.Raw), 1) {
+				cls.Train(tr.Gesture.String(), w)
+				nTrain++
+			}
+		}
+		correct, total := 0, 0
+		for _, tr := range test {
+			for _, w := range emg.Windows(pre.Process(tr.Raw), 1) {
+				if got, _ := cls.Predict(w); got == tr.Gesture.String() {
+					correct++
+				}
+				total++
+			}
+		}
+		fmt.Printf("S%-7d %-14d %-13d %.1f%%\n", s+1, nTrain, total,
+			100*float64(correct)/float64(total))
+		lastCls = cls
+	}
+
+	// Deploy the last subject's model on the simulated PULPv3 and Wolf
+	// clusters: one classification per 10 ms detection window.
+	fmt.Println("\ndeployment (one classification, 10 ms budget):")
+	accel := kernels.NewAccelerator(lastCls)
+	window := [][]float64{{12, 3, 9, 1}}
+	label, work := accel.Classify(window)
+	fmt.Printf("sample %v → %q\n\n", window[0], label)
+
+	fmt.Println("platform               kcycles  f@10ms[MHz]  power[mW]  energy/cls[µJ]")
+	for _, row := range []struct {
+		plat pulp.Platform
+		pw   func(freq float64) float64
+	}{
+		{pulp.CortexM4Platform(), func(f float64) float64 { return power.CortexM4Power(f).Total() }},
+		{pulp.PULPv3Platform(1), func(f float64) float64 {
+			return power.PULPv3Power(power.OperatingPoint{VoltageV: 0.7, FreqMHz: f}, 1).Total()
+		}},
+		{pulp.PULPv3Platform(4), func(f float64) float64 {
+			return power.PULPv3Power(power.OperatingPoint{VoltageV: 0.5, FreqMHz: f}, 4).Total()
+		}},
+		{pulp.WolfPlatform(8, true), func(f float64) float64 {
+			return power.WolfPower(power.OperatingPoint{VoltageV: 0.5, FreqMHz: f}, 8).Total()
+		}},
+	} {
+		_, cycles := row.plat.RunChain(work.Kernels())
+		freq, ok := row.plat.FrequencyForLatency(cycles, 0.010)
+		status := ""
+		if !ok {
+			status = " (exceeds max clock!)"
+		}
+		p := row.pw(freq)
+		fmt.Printf("%-22s %-8.0f %-12.2f %-10.2f %.2f%s\n",
+			row.plat.Name, float64(cycles)/1e3, freq, p,
+			power.EnergyPerClassification(p, cycles, freq), status)
+	}
+	fmt.Println("\n(Wolf power is an extrapolation — the paper reports Wolf cycles only; see power.WolfPower.)")
+}

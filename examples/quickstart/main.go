@@ -1,0 +1,67 @@
+// Quickstart: train an HD classifier on a toy 4-channel task and
+// classify new samples — the smallest possible tour of the public
+// pipeline (CIM/IM mapping → spatial encoding → associative memory).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pulphd/internal/hdc"
+)
+
+func main() {
+	// A 2,000-dimensional classifier over 4 analog channels quantized
+	// to 22 levels in [0, 21], classifying one sample per query.
+	cfg := hdc.Config{
+		D:        2000,
+		Channels: 4,
+		Levels:   22,
+		MinLevel: 0,
+		MaxLevel: 21,
+		NGram:    1,
+		Window:   1,
+		Seed:     1,
+	}
+	cls, err := hdc.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three synthetic "gestures", each a distinctive per-channel
+	// activation pattern.
+	patterns := map[string][]float64{
+		"fist":  {17, 14, 3, 5},
+		"open":  {4, 6, 16, 13},
+		"pinch": {11, 3, 12, 2},
+	}
+
+	// Train: a handful of noisy examples per class is enough — HD
+	// computing learns fast.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		for label, p := range patterns {
+			cls.Train(label, [][]float64{noisy(p, rng)})
+		}
+	}
+
+	// Classify unseen noisy samples.
+	fmt.Println("label   predicted  hamming-distance")
+	for label, p := range patterns {
+		got, dist := cls.Predict([][]float64{noisy(p, rng)})
+		fmt.Printf("%-7s %-10s %d\n", label, got, dist)
+	}
+
+	fp := cls.Footprint(len(patterns))
+	fmt.Printf("\nmodel footprint: %.1f kB (CIM %d B, IM %d B, AM %d B)\n",
+		float64(fp.Total())/1024, fp.CIMBytes, fp.IMBytes, fp.AMBytes)
+}
+
+func noisy(p []float64, rng *rand.Rand) []float64 {
+	out := make([]float64, len(p))
+	for i, v := range p {
+		out[i] = v + rng.NormFloat64()
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+// Scalability study on the simulated platforms (§5.2): how the HD
+// accelerator's cycle count responds to core count, hypervector
+// dimension, N-gram size and channel count, and where each platform
+// stops meeting the 10 ms detection latency.
+package main
+
+import (
+	"fmt"
+
+	"pulphd/internal/kernels"
+	"pulphd/internal/pulp"
+)
+
+func cycles(plat pulp.Platform, d, channels, n int) int64 {
+	a := kernels.SyntheticChain(d, channels, n, 5, 1)
+	_, work := a.Classify(a.SyntheticWindow(2))
+	_, total := plat.RunChain(work.Kernels())
+	return total
+}
+
+func main() {
+	fmt.Println("— cores (Wolf built-in, 10,000-D, 4 ch, N=1) —")
+	fmt.Println("cores  kcycles  speedup")
+	base := cycles(pulp.WolfPlatform(1, true), 10000, 4, 1)
+	for _, c := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		v := cycles(pulp.WolfPlatform(c, true), 10000, 4, 1)
+		fmt.Printf("%-6d %-8.1f %.2f\n", c, float64(v)/1e3, float64(base)/float64(v))
+	}
+
+	fmt.Println("\n— dimension (Wolf 8c built-in, 4 ch, N=1) —")
+	fmt.Println("D      kcycles  kcycles/kD")
+	for _, d := range []int{1000, 2000, 5000, 10000, 20000, 50000} {
+		v := cycles(pulp.WolfPlatform(8, true), d, 4, 1)
+		fmt.Printf("%-6d %-8.1f %.2f\n", d, float64(v)/1e3, float64(v)/float64(d))
+	}
+
+	fmt.Println("\n— N-gram (Wolf 8c built-in, 10,000-D, 4 ch) —")
+	fmt.Println("N      kcycles")
+	for _, n := range []int{1, 2, 5, 10, 20, 29} { // 29 = the EEG window of [21]
+		v := cycles(pulp.WolfPlatform(8, true), 10000, 4, n)
+		fmt.Printf("%-6d %.1f\n", n, float64(v)/1e3)
+	}
+
+	fmt.Println("\n— channels at the 10 ms budget (10,000-D, N=1) —")
+	fmt.Println("ch     Wolf8 kcyc  f[MHz]  ok   M4 kcyc  f[MHz]  ok")
+	for _, ch := range []int{4, 16, 64, 256} {
+		wolf := pulp.WolfPlatform(8, true)
+		m4 := pulp.CortexM4Platform()
+		wv := cycles(wolf, 10000, ch, 1)
+		mv := cycles(m4, 10000, ch, 1)
+		wf, wok := wolf.FrequencyForLatency(wv, 0.010)
+		mf, mok := m4.FrequencyForLatency(mv, 0.010)
+		fmt.Printf("%-6d %-11.0f %-7.1f %-4v %-8.0f %-7.1f %v\n",
+			ch, float64(wv)/1e3, wf, wok, float64(mv)/1e3, mf, mok)
+	}
+}

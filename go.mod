@@ -1,0 +1,3 @@
+module pulphd
+
+go 1.22

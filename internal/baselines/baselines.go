@@ -1,0 +1,244 @@
+// Package baselines implements the other two classifiers the
+// literature commonly uses for EMG gesture recognition alongside the
+// SVM: linear discriminant analysis and k-nearest neighbors ("the most
+// used algorithms for EMG gesture recognition are support vector
+// machine (SVMs), linear discriminant analysis (LDA) and k-nearest
+// neighbor (KNN)", §4.1). They complete the algorithm comparison the
+// paper cites from [15].
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LDA is a regularized linear discriminant analysis classifier with a
+// shared (pooled) covariance.
+type LDA struct {
+	classes []string
+	means   [][]float64
+	priors  []float64
+	// invCov is the inverse of the pooled covariance (regularized).
+	invCov [][]float64
+	dim    int
+}
+
+// TrainLDA fits the classifier. reg is added to the covariance
+// diagonal for numerical stability (typ. 1e-3).
+func TrainLDA(features [][]float64, labels []string, reg float64) (*LDA, error) {
+	if len(features) == 0 || len(features) != len(labels) {
+		return nil, fmt.Errorf("baselines: bad training set: %d features, %d labels", len(features), len(labels))
+	}
+	dim := len(features[0])
+	idx := map[string]int{}
+	var classes []string
+	for _, l := range labels {
+		if _, ok := idx[l]; !ok {
+			idx[l] = len(classes)
+			classes = append(classes, l)
+		}
+	}
+	if len(classes) < 2 {
+		return nil, fmt.Errorf("baselines: need ≥2 classes, got %d", len(classes))
+	}
+	k := len(classes)
+	means := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range means {
+		means[i] = make([]float64, dim)
+	}
+	for i, f := range features {
+		if len(f) != dim {
+			return nil, fmt.Errorf("baselines: feature %d has dim %d, want %d", i, len(f), dim)
+		}
+		c := idx[labels[i]]
+		counts[c]++
+		for j, v := range f {
+			means[c][j] += v
+		}
+	}
+	for c := range means {
+		for j := range means[c] {
+			means[c][j] /= float64(counts[c])
+		}
+	}
+	// Pooled within-class covariance.
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for i, f := range features {
+		c := idx[labels[i]]
+		for a := 0; a < dim; a++ {
+			da := f[a] - means[c][a]
+			for b := 0; b < dim; b++ {
+				cov[a][b] += da * (f[b] - means[c][b])
+			}
+		}
+	}
+	n := float64(len(features) - k)
+	if n < 1 {
+		n = 1
+	}
+	for a := 0; a < dim; a++ {
+		for b := 0; b < dim; b++ {
+			cov[a][b] /= n
+		}
+		cov[a][a] += reg
+	}
+	inv, err := invert(cov)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: singular covariance: %w", err)
+	}
+	priors := make([]float64, k)
+	for c := range priors {
+		priors[c] = float64(counts[c]) / float64(len(features))
+	}
+	return &LDA{classes: classes, means: means, priors: priors, invCov: inv, dim: dim}, nil
+}
+
+// invert computes the inverse of a small symmetric positive-definite
+// matrix by Gauss-Jordan elimination with partial pivoting.
+func invert(m [][]float64) ([][]float64, error) {
+	n := len(m)
+	a := make([][]float64, n)
+	inv := make([][]float64, n)
+	for i := range a {
+		a[i] = append([]float64(nil), m[i]...)
+		inv[i] = make([]float64, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("pivot %d vanishes", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		inv[col], inv[piv] = inv[piv], inv[col]
+		p := a[col][col]
+		for j := 0; j < n; j++ {
+			a[col][j] /= p
+			inv[col][j] /= p
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a[r][j] -= f * a[col][j]
+				inv[r][j] -= f * inv[col][j]
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Predict returns the class with the highest linear discriminant
+// score.
+func (l *LDA) Predict(x []float64) string {
+	if len(x) != l.dim {
+		panic(fmt.Sprintf("baselines: LDA.Predict: dim %d, want %d", len(x), l.dim))
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for c := range l.classes {
+		// δ_c(x) = μ_cᵀ Σ⁻¹ x − ½ μ_cᵀ Σ⁻¹ μ_c + log π_c
+		wm := matVec(l.invCov, l.means[c])
+		score := dot(wm, x) - 0.5*dot(wm, l.means[c]) + math.Log(l.priors[c])
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return l.classes[best]
+}
+
+// Classes returns the class labels in training order.
+func (l *LDA) Classes() []string { return append([]string(nil), l.classes...) }
+
+func matVec(m [][]float64, v []float64) []float64 {
+	out := make([]float64, len(m))
+	for i := range m {
+		out[i] = dot(m[i], v)
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// KNN is a brute-force k-nearest-neighbors classifier under Euclidean
+// distance.
+type KNN struct {
+	k        int
+	features [][]float64
+	labels   []string
+	dim      int
+}
+
+// TrainKNN stores the training set. k must be positive and no larger
+// than the training-set size.
+func TrainKNN(features [][]float64, labels []string, k int) (*KNN, error) {
+	if len(features) == 0 || len(features) != len(labels) {
+		return nil, fmt.Errorf("baselines: bad training set: %d features, %d labels", len(features), len(labels))
+	}
+	if k < 1 || k > len(features) {
+		return nil, fmt.Errorf("baselines: k=%d out of range [1,%d]", k, len(features))
+	}
+	dim := len(features[0])
+	for i, f := range features {
+		if len(f) != dim {
+			return nil, fmt.Errorf("baselines: feature %d has dim %d, want %d", i, len(f), dim)
+		}
+	}
+	fs := make([][]float64, len(features))
+	for i, f := range features {
+		fs[i] = append([]float64(nil), f...)
+	}
+	return &KNN{k: k, features: fs, labels: append([]string(nil), labels...), dim: dim}, nil
+}
+
+// Predict votes among the k nearest training points.
+func (m *KNN) Predict(x []float64) string {
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("baselines: KNN.Predict: dim %d, want %d", len(x), m.dim))
+	}
+	type nd struct {
+		d int // index
+		v float64
+	}
+	ds := make([]nd, len(m.features))
+	for i, f := range m.features {
+		var s float64
+		for j := range f {
+			df := f[j] - x[j]
+			s += df * df
+		}
+		ds[i] = nd{i, s}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].v < ds[j].v })
+	votes := map[string]int{}
+	for _, e := range ds[:m.k] {
+		votes[m.labels[e.d]]++
+	}
+	best, bestN := "", -1
+	for l, n := range votes {
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,176 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func blobs(centers [][]float64, perClass int, noise float64, seed int64) (x [][]float64, y []string) {
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"a", "b", "c", "d", "e"}
+	for ci, c := range centers {
+		for i := 0; i < perClass; i++ {
+			p := make([]float64, len(c))
+			for j := range p {
+				p[j] = c[j] + rng.NormFloat64()*noise
+			}
+			x = append(x, p)
+			y = append(y, names[ci])
+		}
+	}
+	return x, y
+}
+
+var centers = [][]float64{
+	{1, 1, 1, 1},
+	{15, 3, 8, 2},
+	{3, 14, 2, 10},
+	{9, 9, 15, 3},
+	{2, 5, 4, 16},
+}
+
+func accuracy(predict func([]float64) string, x [][]float64, y []string) float64 {
+	c := 0
+	for i := range x {
+		if predict(x[i]) == y[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(x))
+}
+
+func TestLDASeparable(t *testing.T) {
+	x, y := blobs(centers, 40, 1.0, 1)
+	m, err := TrainLDA(x, y, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m.Predict, x, y); acc < 0.97 {
+		t.Fatalf("LDA training accuracy %.2f", acc)
+	}
+	xt, yt := blobs(centers, 20, 1.0, 2)
+	if acc := accuracy(m.Predict, xt, yt); acc < 0.95 {
+		t.Fatalf("LDA test accuracy %.2f", acc)
+	}
+}
+
+func TestLDAErrors(t *testing.T) {
+	if _, err := TrainLDA(nil, nil, 1e-3); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := TrainLDA([][]float64{{1}, {2}}, []string{"a", "a"}, 1e-3); err == nil {
+		t.Error("single class accepted")
+	}
+	if _, err := TrainLDA([][]float64{{1}, {2, 3}}, []string{"a", "b"}, 1e-3); err == nil {
+		t.Error("ragged features accepted")
+	}
+}
+
+func TestLDAClasses(t *testing.T) {
+	x, y := blobs(centers[:2], 10, 0.5, 3)
+	m, err := TrainLDA(x, y, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := m.Classes()
+	if len(cs) != 2 || cs[0] != "a" || cs[1] != "b" {
+		t.Fatalf("Classes() = %v", cs)
+	}
+}
+
+func TestInvert(t *testing.T) {
+	m := [][]float64{{4, 1, 0}, {1, 3, 1}, {0, 1, 2}}
+	inv, err := invert(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m × inv must be the identity.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += m[i][k] * inv[k][j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-9 {
+				t.Fatalf("(m·inv)[%d][%d] = %g", i, j, s)
+			}
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	if _, err := invert([][]float64{{1, 2}, {2, 4}}); err == nil {
+		t.Fatal("singular matrix inverted")
+	}
+}
+
+func TestKNNSeparable(t *testing.T) {
+	x, y := blobs(centers, 40, 1.0, 4)
+	m, err := TrainKNN(x, y, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := blobs(centers, 20, 1.0, 5)
+	if acc := accuracy(m.Predict, xt, yt); acc < 0.95 {
+		t.Fatalf("KNN test accuracy %.2f", acc)
+	}
+}
+
+func TestKNNErrors(t *testing.T) {
+	x, y := blobs(centers[:2], 5, 0.5, 6)
+	if _, err := TrainKNN(x, y, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TrainKNN(x, y, 11); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := TrainKNN(nil, nil, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestKNNK1IsNearest(t *testing.T) {
+	x := [][]float64{{0, 0}, {10, 10}}
+	y := []string{"near", "far"}
+	m, err := TrainKNN(x, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{1, 1}); got != "near" {
+		t.Fatalf("Predict = %q", got)
+	}
+}
+
+func TestKNNDoesNotAliasTrainingData(t *testing.T) {
+	x := [][]float64{{0, 0}, {10, 10}}
+	y := []string{"a", "b"}
+	m, _ := TrainKNN(x, y, 1)
+	x[0][0] = 1000 // mutate the caller's slice
+	if got := m.Predict([]float64{0, 0}); got != "a" {
+		t.Fatal("KNN shares storage with caller")
+	}
+}
+
+func TestPredictDimPanics(t *testing.T) {
+	x, y := blobs(centers, 10, 0.5, 7)
+	lda, _ := TrainLDA(x, y, 1e-3)
+	knn, _ := TrainKNN(x, y, 3)
+	for name, f := range map[string]func(){
+		"LDA": func() { lda.Predict([]float64{1}) },
+		"KNN": func() { knn.Predict([]float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,205 @@
+// Package eeg synthesizes the second workload class the paper scales
+// its accelerator toward: EEG-style brain-machine-interface trials
+// that need "a larger number of channels and wider temporal window
+// (i.e., larger N-gram size)" (§5.2, citing the error-related-
+// potential task of [21] with its N-gram of 29).
+//
+// The task is binary — did the subject perceive an error or a correct
+// feedback event? The two classes carry event-related deflections
+// with the *same amplitude distribution* but opposite temporal order
+// (error: negativity then positivity; correct: the mirror image), so
+// any encoder that discards sample order collapses to chance and the
+// temporal N-gram encoder is genuinely load-bearing, exactly the
+// regime the paper's scalability study targets.
+package eeg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Class is a trial label.
+type Class int
+
+// The two feedback classes.
+const (
+	Correct Class = iota
+	Error
+	NumClasses
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case Correct:
+		return "correct"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Protocol describes an EEG recording campaign.
+type Protocol struct {
+	Subjects   int
+	Channels   int
+	SampleRate float64 // Hz
+	// TrialSamples is the epoch length around the feedback event.
+	TrialSamples   int
+	TrialsPerClass int
+	// NoiseAmp is the background-EEG amplitude relative to the
+	// event-related deflection (≈2 is realistic for single trials).
+	NoiseAmp float64
+	Seed     int64
+}
+
+// DefaultProtocol mirrors the scale of the ErrP study [21]: 16
+// channels at 250 Hz, 1 s epochs.
+func DefaultProtocol() Protocol {
+	return Protocol{
+		Subjects:       3,
+		Channels:       16,
+		SampleRate:     250,
+		TrialSamples:   250,
+		TrialsPerClass: 60,
+		NoiseAmp:       2.0,
+		Seed:           77,
+	}
+}
+
+// Trial is one feedback epoch: Samples[t][channel] in µV.
+type Trial struct {
+	Subject int
+	Class   Class
+	Samples [][]float64
+}
+
+// Dataset is a campaign of epochs.
+type Dataset struct {
+	Protocol Protocol
+	Trials   []Trial
+}
+
+// deflection is the event-related waveform template: a smooth
+// biphasic wave (Gaussian-windowed sine) spanning [0,1) of the
+// component's duration. Sign chooses which phase leads.
+func deflection(t float64, sign float64) float64 {
+	// Two lobes: peak near 0.3 and 0.7 of the component.
+	lobe := func(center, width float64) float64 {
+		d := (t - center) / width
+		return math.Exp(-d * d)
+	}
+	// Equal-amplitude lobes: the two classes' amplitude histograms are
+	// identical; only the temporal order differs.
+	return sign*lobe(0.3, 0.12) - sign*lobe(0.7, 0.12)
+}
+
+// Generate synthesizes a campaign deterministically from the seed.
+func Generate(p Protocol) *Dataset {
+	if p.Subjects < 1 || p.Channels < 1 || p.TrialSamples < 8 || p.TrialsPerClass < 1 {
+		panic(fmt.Sprintf("eeg: Generate: invalid protocol %+v", p))
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	ds := &Dataset{Protocol: p}
+	for s := 0; s < p.Subjects; s++ {
+		// Per-subject spatial topography: the deflection projects
+		// strongest onto fronto-central channels, weaker elsewhere.
+		topo := make([]float64, p.Channels)
+		for c := range topo {
+			topo[c] = 0.25 + 0.75*math.Exp(-float64((c-p.Channels/3)*(c-p.Channels/3))/float64(p.Channels))
+			topo[c] *= 1 + 0.15*rng.NormFloat64()
+		}
+		for class := Class(0); class < NumClasses; class++ {
+			sign := 1.0
+			if class == Error {
+				sign = -1.0 // mirrored time course, same amplitudes
+			}
+			for trial := 0; trial < p.TrialsPerClass; trial++ {
+				// Background EEG: a few random low-frequency
+				// oscillators per channel plus white sensor noise.
+				oscFreq := make([]float64, 3)
+				oscPhase := make([]float64, 3)
+				for i := range oscFreq {
+					oscFreq[i] = 4 + 12*rng.Float64() // theta–alpha band
+					oscPhase[i] = rng.Float64() * 2 * math.Pi
+				}
+				latencyJitter := 0.05 * rng.NormFloat64() // event latency spread
+				gain := 1 + 0.2*rng.NormFloat64()
+				samples := make([][]float64, p.TrialSamples)
+				for t := 0; t < p.TrialSamples; t++ {
+					row := make([]float64, p.Channels)
+					tt := float64(t) / float64(p.TrialSamples)
+					erp := deflection(clamp01(tt-latencyJitter), sign) * gain
+					for c := 0; c < p.Channels; c++ {
+						bg := 0.0
+						for i := range oscFreq {
+							bg += math.Sin(2*math.Pi*oscFreq[i]*float64(t)/p.SampleRate +
+								oscPhase[i] + float64(c)*0.3)
+						}
+						row[c] = 10*erp*topo[c] +
+							p.NoiseAmp*(3*bg+4*rng.NormFloat64())
+					}
+					samples[t] = row
+				}
+				ds.Trials = append(ds.Trials, Trial{Subject: s, Class: class, Samples: samples})
+			}
+		}
+	}
+	return ds
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Split returns one subject's chronological train/test split with the
+// given training fraction per class.
+func (d *Dataset) Split(subject int, trainFrac float64) (train, test []Trial) {
+	perClass := map[Class]int{}
+	for _, tr := range d.Trials {
+		if tr.Subject != subject {
+			continue
+		}
+		perClass[tr.Class]++
+	}
+	seen := map[Class]int{}
+	for _, tr := range d.Trials {
+		if tr.Subject != subject {
+			continue
+		}
+		if float64(seen[tr.Class]) < trainFrac*float64(perClass[tr.Class]) {
+			train = append(train, tr)
+		} else {
+			test = append(test, tr)
+		}
+		seen[tr.Class]++
+	}
+	return train, test
+}
+
+// Range returns the global amplitude range of the dataset, used to
+// configure the CIM.
+func (d *Dataset) Range() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, tr := range d.Trials {
+		for _, row := range tr.Samples {
+			for _, v := range row {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+	}
+	return lo, hi
+}

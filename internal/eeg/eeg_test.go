@@ -1,0 +1,163 @@
+package eeg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	p := DefaultProtocol()
+	ds := Generate(p)
+	want := p.Subjects * int(NumClasses) * p.TrialsPerClass
+	if len(ds.Trials) != want {
+		t.Fatalf("%d trials, want %d", len(ds.Trials), want)
+	}
+	tr := ds.Trials[0]
+	if len(tr.Samples) != p.TrialSamples || len(tr.Samples[0]) != p.Channels {
+		t.Fatalf("epoch shape %dx%d", len(tr.Samples), len(tr.Samples[0]))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultProtocol())
+	b := Generate(DefaultProtocol())
+	if a.Trials[5].Samples[100][3] != b.Trials[5].Samples[100][3] {
+		t.Fatal("same seed produced different data")
+	}
+}
+
+func TestClassesShareAmplitudeStatistics(t *testing.T) {
+	// The design premise: per-channel amplitude histograms of the two
+	// classes must be indistinguishable (the waveforms are time
+	// mirrors). Compare per-class mean absolute amplitude.
+	p := DefaultProtocol()
+	p.Subjects = 1
+	ds := Generate(p)
+	var sums [NumClasses]float64
+	var counts [NumClasses]int
+	for _, tr := range ds.Trials {
+		for _, row := range tr.Samples {
+			for _, v := range row {
+				sums[tr.Class] += math.Abs(v)
+				counts[tr.Class]++
+			}
+		}
+	}
+	m0 := sums[Correct] / float64(counts[Correct])
+	m1 := sums[Error] / float64(counts[Error])
+	if diff := math.Abs(m0-m1) / m0; diff > 0.03 {
+		t.Fatalf("class amplitude statistics differ by %.1f%%; task is not order-only", diff*100)
+	}
+}
+
+func TestClassesDifferInTimeCourse(t *testing.T) {
+	// Averaging trials per class must reveal opposite-signed
+	// deflections around the first lobe on the strongest channel.
+	p := DefaultProtocol()
+	p.Subjects = 1
+	ds := Generate(p)
+	ch := p.Channels / 3 // topography peak
+	lobe := int(0.3 * float64(p.TrialSamples))
+	var avg [NumClasses]float64
+	var n [NumClasses]int
+	for _, tr := range ds.Trials {
+		for t0 := lobe - 5; t0 <= lobe+5; t0++ {
+			avg[tr.Class] += tr.Samples[t0][ch]
+		}
+		n[tr.Class]++
+	}
+	a := avg[Correct] / float64(n[Correct])
+	b := avg[Error] / float64(n[Error])
+	if a*b >= 0 {
+		t.Fatalf("class-average first lobes have the same sign (%.2f, %.2f)", a, b)
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	ds := Generate(DefaultProtocol())
+	train, test := ds.Split(1, 0.25)
+	wantTrain := int(0.25*60)*2 + 2 // ceil behaviour: first trials while < frac
+	if len(train) < wantTrain-2 || len(train) > wantTrain+2 {
+		t.Fatalf("%d training trials", len(train))
+	}
+	if len(train)+len(test) != 2*60 {
+		t.Fatalf("split loses trials: %d + %d", len(train), len(test))
+	}
+	for _, tr := range train {
+		if tr.Subject != 1 {
+			t.Fatal("foreign subject in split")
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	ds := Generate(DefaultProtocol())
+	lo, hi := ds.Range()
+	if lo >= hi {
+		t.Fatalf("degenerate range [%g,%g]", lo, hi)
+	}
+	if lo > -5 || hi < 5 {
+		t.Fatalf("range [%g,%g] implausibly tight for ±µV EEG", lo, hi)
+	}
+}
+
+func TestPreprocessDecimates(t *testing.T) {
+	p := DefaultProtocol()
+	p.Subjects = 1
+	p.TrialsPerClass = 2
+	ds := Preprocess(Generate(p), 8, 5)
+	if ds.Protocol.TrialSamples != 50 {
+		t.Fatalf("decimated trial length %d, want 50", ds.Protocol.TrialSamples)
+	}
+	if ds.Protocol.SampleRate != 50 {
+		t.Fatalf("decimated rate %g, want 50", ds.Protocol.SampleRate)
+	}
+	if len(ds.Trials[0].Samples) != 50 {
+		t.Fatalf("%d samples after decimation", len(ds.Trials[0].Samples))
+	}
+}
+
+func TestPreprocessDenoises(t *testing.T) {
+	// Low-passing must shrink the sample-to-sample variance far more
+	// than the slow event-related content.
+	p := DefaultProtocol()
+	p.Subjects = 1
+	p.TrialsPerClass = 3
+	raw := Generate(p)
+	smooth := Preprocess(raw, 8, 1)
+	diffVar := func(d *Dataset) float64 {
+		var s float64
+		var n int
+		for _, tr := range d.Trials {
+			for t0 := 1; t0 < len(tr.Samples); t0++ {
+				dv := tr.Samples[t0][0] - tr.Samples[t0-1][0]
+				s += dv * dv
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	if diffVar(smooth) > diffVar(raw)/4 {
+		t.Fatalf("low-pass barely smoothed: %.2f vs %.2f", diffVar(smooth), diffVar(raw))
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Correct.String() != "correct" || Error.String() != "error" {
+		t.Fatal("class names wrong")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class must render")
+	}
+}
+
+func TestGeneratePanicsOnBadProtocol(t *testing.T) {
+	p := DefaultProtocol()
+	p.Channels = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Generate(p)
+}

@@ -1,0 +1,48 @@
+package eeg
+
+import (
+	"fmt"
+
+	"pulphd/internal/emg"
+)
+
+// Preprocess applies the standard ErrP front end to every trial:
+// per-channel low-pass filtering (single-trial event-related
+// potentials live below ~10 Hz) followed by decimation, which both
+// denoises and shortens the sequence so that practical N-gram sizes
+// span the waveform. It returns a new dataset with the filtered
+// epochs; the protocol's sample rate and trial length are updated to
+// the decimated values.
+func Preprocess(d *Dataset, cutoffHz float64, decimate int) *Dataset {
+	if decimate < 1 {
+		panic(fmt.Sprintf("eeg: Preprocess: bad decimation %d", decimate))
+	}
+	p := d.Protocol
+	out := &Dataset{Protocol: p}
+	out.Protocol.SampleRate = p.SampleRate / float64(decimate)
+	out.Protocol.TrialSamples = (p.TrialSamples + decimate - 1) / decimate
+	for _, tr := range d.Trials {
+		filtered := make([][]float64, 0, out.Protocol.TrialSamples)
+		// One filter per channel, reset per trial (epochs are
+		// independent).
+		filters := make([]*emg.Biquad, p.Channels)
+		for c := range filters {
+			filters[c] = emg.NewLowPass(cutoffHz, p.SampleRate)
+		}
+		for t, row := range tr.Samples {
+			smoothed := make([]float64, p.Channels)
+			for c, v := range row {
+				smoothed[c] = filters[c].Step(v)
+			}
+			if t%decimate == 0 {
+				filtered = append(filtered, smoothed)
+			}
+		}
+		out.Trials = append(out.Trials, Trial{
+			Subject: tr.Subject,
+			Class:   tr.Class,
+			Samples: filtered,
+		})
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package emg provides the data substrate of the PULP-HD evaluation: a
+// synthetic surface-EMG dataset mirroring the recording protocol of
+// DAC'18 §4 (5 subjects, 4 forearm channels at 500 Hz, 4 hand gestures
+// plus rest, 3 s per gesture repeated 10 times) and the preprocessing
+// chain the paper applies before the HD classifier ("power line
+// interference removal and envelope extraction", §3).
+//
+// The original recordings (Rahimi et al. 2016 [19]) are proprietary;
+// the generator reproduces their statistical structure — per-gesture
+// muscle-synergy activation patterns, inter-subject variability,
+// amplitude-modulated broadband EMG carriers, 50 Hz power-line hum —
+// so the downstream classifier code path and the relative
+// HD-versus-SVM behaviour are preserved.
+package emg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Biquad is a direct-form-II-transposed second-order IIR section.
+type Biquad struct {
+	b0, b1, b2 float64
+	a1, a2     float64
+	z1, z2     float64
+}
+
+// NewNotch designs a second-order notch filter that removes a narrow
+// band around freq (the 50 Hz power-line interference) at the given
+// sampling rate. q controls the notch width (typ. 30).
+func NewNotch(freq, q, sampleRate float64) *Biquad {
+	w0 := 2 * math.Pi * freq / sampleRate
+	alpha := math.Sin(w0) / (2 * q)
+	cos := math.Cos(w0)
+	a0 := 1 + alpha
+	return &Biquad{
+		b0: 1 / a0,
+		b1: -2 * cos / a0,
+		b2: 1 / a0,
+		a1: -2 * cos / a0,
+		a2: (1 - alpha) / a0,
+	}
+}
+
+// NewLowPass designs a second-order Butterworth low-pass section with
+// the given cutoff, used for envelope smoothing after rectification.
+func NewLowPass(cutoff, sampleRate float64) *Biquad {
+	w0 := 2 * math.Pi * cutoff / sampleRate
+	cos := math.Cos(w0)
+	alpha := math.Sin(w0) / math.Sqrt2 // Q = 1/√2 → Butterworth
+	a0 := 1 + alpha
+	return &Biquad{
+		b0: (1 - cos) / 2 / a0,
+		b1: (1 - cos) / a0,
+		b2: (1 - cos) / 2 / a0,
+		a1: -2 * cos / a0,
+		a2: (1 - alpha) / a0,
+	}
+}
+
+// Step filters one sample.
+func (f *Biquad) Step(x float64) float64 {
+	y := f.b0*x + f.z1
+	f.z1 = f.b1*x - f.a1*y + f.z2
+	f.z2 = f.b2*x - f.a2*y
+	return y
+}
+
+// Reset clears the filter state.
+func (f *Biquad) Reset() { f.z1, f.z2 = 0, 0 }
+
+// Apply filters a whole signal into a fresh slice, resetting state
+// first.
+func (f *Biquad) Apply(x []float64) []float64 {
+	f.Reset()
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = f.Step(v)
+	}
+	return out
+}
+
+// Preprocessor implements the paper's front end: 50 Hz notch followed
+// by full-wave rectification and Butterworth low-pass envelope
+// extraction, one independent chain per channel. The paper executes
+// this block off-platform (§3), so it carries no cycle model.
+type Preprocessor struct {
+	sampleRate float64
+	notch      []*Biquad
+	envelope   []*Biquad
+	gain       float64
+}
+
+// NewPreprocessor builds a preprocessing chain for the given channel
+// count and sampling rate. envelopeCutoff is the smoothing bandwidth
+// in Hz (typ. 4 Hz for gesture recognition). gain rescales the
+// rectified mean to physical envelope units so a fully activated
+// channel lands near the top of the CIM range.
+func NewPreprocessor(channels int, sampleRate, envelopeCutoff, gain float64) *Preprocessor {
+	if channels < 1 {
+		panic(fmt.Sprintf("emg: NewPreprocessor: bad channel count %d", channels))
+	}
+	p := &Preprocessor{
+		sampleRate: sampleRate,
+		notch:      make([]*Biquad, channels),
+		envelope:   make([]*Biquad, channels),
+		gain:       gain,
+	}
+	for i := 0; i < channels; i++ {
+		p.notch[i] = NewNotch(50, 30, sampleRate)
+		p.envelope[i] = NewLowPass(envelopeCutoff, sampleRate)
+	}
+	return p
+}
+
+// Channels returns the number of independent chains.
+func (p *Preprocessor) Channels() int { return len(p.notch) }
+
+// Process converts raw multichannel EMG (raw[t][ch], in mV) into the
+// per-sample envelope representation consumed by the CIM. The output
+// has the same shape as the input.
+func (p *Preprocessor) Process(raw [][]float64) [][]float64 {
+	for i := range p.notch {
+		p.notch[i].Reset()
+		p.envelope[i].Reset()
+	}
+	out := make([][]float64, len(raw))
+	for t, row := range raw {
+		if len(row) != len(p.notch) {
+			panic(fmt.Sprintf("emg: Process: sample %d has %d channels, want %d", t, len(row), len(p.notch)))
+		}
+		o := make([]float64, len(row))
+		for c, x := range row {
+			y := p.notch[c].Step(x)
+			y = math.Abs(y) // full-wave rectification
+			e := p.envelope[c].Step(y) * p.gain
+			if e < 0 {
+				e = 0 // filter transients can undershoot; envelopes are nonnegative
+			}
+			o[c] = e
+		}
+		out[t] = o
+	}
+	return out
+}

@@ -1,0 +1,353 @@
+package emg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNotchRemovesPowerline(t *testing.T) {
+	const fs = 500.0
+	notch := NewNotch(50, 30, fs)
+	// Feed a pure 50 Hz tone; after settling, the output must be tiny.
+	var maxTail float64
+	for i := 0; i < 2000; i++ {
+		y := notch.Step(math.Sin(2 * math.Pi * 50 * float64(i) / fs))
+		if i > 1000 && math.Abs(y) > maxTail {
+			maxTail = math.Abs(y)
+		}
+	}
+	if maxTail > 0.05 {
+		t.Fatalf("50 Hz residue %.3f after notch", maxTail)
+	}
+}
+
+func TestNotchPassesBand(t *testing.T) {
+	const fs = 500.0
+	notch := NewNotch(50, 30, fs)
+	// A 120 Hz tone (inside the EMG band) must pass nearly unattenuated.
+	var maxTail float64
+	for i := 0; i < 2000; i++ {
+		y := notch.Step(math.Sin(2 * math.Pi * 120 * float64(i) / fs))
+		if i > 1000 && math.Abs(y) > maxTail {
+			maxTail = math.Abs(y)
+		}
+	}
+	if maxTail < 0.9 {
+		t.Fatalf("120 Hz passband amplitude %.3f, want ≈1", maxTail)
+	}
+}
+
+func TestLowPassSmoothes(t *testing.T) {
+	const fs = 500.0
+	lp := NewLowPass(4, fs)
+	// DC gain must be ~1.
+	var y float64
+	for i := 0; i < 3000; i++ {
+		y = lp.Step(1)
+	}
+	if math.Abs(y-1) > 0.01 {
+		t.Fatalf("DC gain %.3f, want 1", y)
+	}
+	// A 100 Hz tone must be strongly attenuated.
+	lp.Reset()
+	var maxTail float64
+	for i := 0; i < 3000; i++ {
+		v := lp.Step(math.Sin(2 * math.Pi * 100 * float64(i) / fs))
+		if i > 1500 && math.Abs(v) > maxTail {
+			maxTail = math.Abs(v)
+		}
+	}
+	if maxTail > 0.01 {
+		t.Fatalf("100 Hz leak %.4f through 4 Hz low-pass", maxTail)
+	}
+}
+
+func TestBiquadApplyResets(t *testing.T) {
+	lp := NewLowPass(4, 500)
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = 1
+	}
+	a := lp.Apply(x)
+	b := lp.Apply(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Apply is stateful across calls")
+		}
+	}
+}
+
+func TestPreprocessorEnvelopeTracksActivation(t *testing.T) {
+	// Amplitude-modulated noise in → envelope ≈ modulation amplitude out.
+	const fs = 500.0
+	rng := rand.New(rand.NewSource(1))
+	p := NewPreprocessor(1, fs, 4, math.Sqrt(math.Pi/2))
+	const amp = 10.0
+	raw := make([][]float64, 3000)
+	for t := range raw {
+		raw[t] = []float64{rng.NormFloat64() * amp}
+	}
+	env := p.Process(raw)
+	// After settling, the envelope should sit near amp (gain compensates
+	// the rectified-Gaussian mean of amp·sqrt(2/π)).
+	var sum float64
+	n := 0
+	for t := 1500; t < 3000; t++ {
+		sum += env[t][0]
+		n++
+	}
+	mean := sum / float64(n)
+	if mean < amp*0.8 || mean > amp*1.2 {
+		t.Fatalf("envelope mean %.2f for activation %.2f", mean, amp)
+	}
+}
+
+func TestPreprocessorRejectsWrongShape(t *testing.T) {
+	p := NewPreprocessor(4, 500, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong channel count")
+		}
+	}()
+	p.Process([][]float64{{1, 2, 3}})
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := DefaultProtocol()
+	ds := Generate(p)
+	wantTrials := p.Subjects * int(NumGestures) * p.Repetitions
+	if len(ds.Trials) != wantTrials {
+		t.Fatalf("%d trials, want %d", len(ds.Trials), wantTrials)
+	}
+	tr := ds.Trials[0]
+	if len(tr.Raw) != int(p.SampleRate*p.TrialSeconds) {
+		t.Fatalf("%d samples per trial, want %d", len(tr.Raw), int(p.SampleRate*p.TrialSeconds))
+	}
+	if len(tr.Raw[0]) != p.Channels {
+		t.Fatalf("%d channels, want %d", len(tr.Raw[0]), p.Channels)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultProtocol())
+	b := Generate(DefaultProtocol())
+	if a.Trials[7].Raw[100][2] != b.Trials[7].Raw[100][2] {
+		t.Fatal("same seed produced different data")
+	}
+	p := DefaultProtocol()
+	p.Seed++
+	c := Generate(p)
+	if a.Trials[7].Raw[100][2] == c.Trials[7].Raw[100][2] {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGestureSeparability(t *testing.T) {
+	// Envelopes of different gestures must differ per channel much more
+	// than repetitions of the same gesture — otherwise no classifier
+	// can work.
+	p := DefaultProtocol()
+	p.Subjects = 1
+	ds := Generate(p)
+	pre := NewPreprocessor(p.Channels, p.SampleRate, 4, math.Sqrt(math.Pi/2))
+	mean := func(tr Trial) []float64 {
+		env := pre.Process(tr.Raw)
+		out := make([]float64, p.Channels)
+		lo, hi := len(env)/5, len(env)-len(env)/5
+		for t := lo; t < hi; t++ {
+			for c := range out {
+				out[c] += env[t][c]
+			}
+		}
+		for c := range out {
+			out[c] /= float64(hi - lo)
+		}
+		return out
+	}
+	centroid := make([][]float64, NumGestures)
+	for g := Gesture(0); g < NumGestures; g++ {
+		centroid[g] = make([]float64, p.Channels)
+	}
+	counts := make([]int, NumGestures)
+	for _, tr := range ds.Trials {
+		m := mean(tr)
+		for c, v := range m {
+			centroid[tr.Gesture][c] += v
+		}
+		counts[tr.Gesture]++
+	}
+	for g := range centroid {
+		for c := range centroid[g] {
+			centroid[g][c] /= float64(counts[g])
+		}
+	}
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			s += (a[i] - b[i]) * (a[i] - b[i])
+		}
+		return math.Sqrt(s)
+	}
+	// Every pair of gesture centroids should be well separated.
+	for g1 := 0; g1 < int(NumGestures); g1++ {
+		for g2 := g1 + 1; g2 < int(NumGestures); g2++ {
+			if d := dist(centroid[g1], centroid[g2]); d < 2 {
+				t.Errorf("gestures %v/%v centroid distance %.2f too small",
+					Gesture(g1), Gesture(g2), d)
+			}
+		}
+	}
+}
+
+func TestEnvelopeWithinCIMRange(t *testing.T) {
+	p := DefaultProtocol()
+	p.Subjects = 1
+	ds := Generate(p)
+	pre := NewPreprocessor(p.Channels, p.SampleRate, 4, math.Sqrt(math.Pi/2))
+	var above, total int
+	for _, tr := range ds.Trials {
+		env := pre.Process(tr.Raw)
+		for _, row := range env {
+			for _, v := range row {
+				if v < 0 {
+					t.Fatalf("negative envelope %.3f", v)
+				}
+				if v > 21 {
+					above++
+				}
+				total++
+			}
+		}
+	}
+	// The 0–21 mV CIM range should cover nearly all envelope mass.
+	if frac := float64(above) / float64(total); frac > 0.05 {
+		t.Fatalf("%.1f%% of envelope samples above 21 mV", frac*100)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := Generate(DefaultProtocol())
+	train, test := ds.Split(2)
+	// ceil(10/4)=3 training reps per gesture × 5 gestures.
+	if len(train) != 3*int(NumGestures) {
+		t.Fatalf("%d training trials, want %d", len(train), 3*int(NumGestures))
+	}
+	if len(test) != 10*int(NumGestures) {
+		t.Fatalf("%d test trials, want %d", len(test), 10*int(NumGestures))
+	}
+	for _, tr := range train {
+		if tr.Subject != 2 {
+			t.Fatal("foreign subject in split")
+		}
+	}
+}
+
+func TestWindows(t *testing.T) {
+	env := make([][]float64, 100)
+	for i := range env {
+		env[i] = []float64{float64(i)}
+	}
+	ws := Windows(env, 5)
+	// Usable region is [20,80): 12 windows of 5.
+	if len(ws) != 12 {
+		t.Fatalf("%d windows, want 12", len(ws))
+	}
+	if ws[0][0][0] != 20 {
+		t.Fatalf("first window starts at %v, want 20", ws[0][0][0])
+	}
+	for _, w := range ws {
+		if len(w) != 5 {
+			t.Fatalf("window of %d samples", len(w))
+		}
+	}
+}
+
+func TestGestureString(t *testing.T) {
+	names := map[Gesture]string{
+		Rest: "rest", ClosedHand: "closed-hand", OpenHand: "open-hand",
+		Pinch2Finger: "2-finger-pinch", PointIndex: "point-index",
+	}
+	for g, want := range names {
+		if g.String() != want {
+			t.Errorf("%d.String() = %q, want %q", g, g.String(), want)
+		}
+	}
+	if Gesture(42).String() == "" {
+		t.Error("unknown gesture must still render")
+	}
+}
+
+func TestArtifactsRaiseEnvelopeTails(t *testing.T) {
+	// With artifacts enabled, the envelope's extreme tail must grow
+	// far beyond the artifact-free one — the heavy-tailed disturbance
+	// the robustness comparison hinges on.
+	quiet := DefaultProtocol()
+	quiet.Subjects = 1
+	quiet.ArtifactRate = 0
+	noisy := quiet
+	noisy.ArtifactRate = 3
+	maxEnv := func(p Protocol) float64 {
+		ds := Generate(p)
+		pre := NewPreprocessor(p.Channels, p.SampleRate, 4, math.Sqrt(math.Pi/2))
+		m := 0.0
+		for _, tr := range ds.Trials {
+			for _, row := range pre.Process(tr.Raw) {
+				for _, v := range row {
+					if v > m {
+						m = v
+					}
+				}
+			}
+		}
+		return m
+	}
+	q, n := maxEnv(quiet), maxEnv(noisy)
+	if n < q*1.5 {
+		t.Fatalf("artifact max envelope %.1f not far above clean %.1f", n, q)
+	}
+}
+
+func TestDriftShiftsLateReps(t *testing.T) {
+	// With Drift set, the per-channel envelope means of the final
+	// repetition must move away from the first repetition's by more
+	// than they do without drift.
+	base := DefaultProtocol()
+	base.Subjects = 1
+	base.ArtifactRate = 0
+	drifted := base
+	drifted.Drift = 1.0
+	shift := func(p Protocol) float64 {
+		ds := Generate(p)
+		pre := NewPreprocessor(p.Channels, p.SampleRate, 4, math.Sqrt(math.Pi/2))
+		meanOf := func(tr Trial) float64 {
+			env := pre.Process(tr.Raw)
+			s := 0.0
+			lo, hi := len(env)/5, len(env)-len(env)/5
+			for t0 := lo; t0 < hi; t0++ {
+				for _, v := range env[t0] {
+					s += v
+				}
+			}
+			return s / float64((hi-lo)*p.Channels)
+		}
+		var first, last, nF, nL float64
+		for _, tr := range ds.Trials {
+			if tr.Gesture == Rest {
+				continue
+			}
+			switch tr.Rep {
+			case 0:
+				first += meanOf(tr)
+				nF++
+			case p.Repetitions - 1:
+				last += meanOf(tr)
+				nL++
+			}
+		}
+		return math.Abs(last/nL - first/nF)
+	}
+	if shift(drifted) < shift(base)+0.3 {
+		t.Fatalf("drift %.2f vs baseline %.2f: no systematic session shift", shift(drifted), shift(base))
+	}
+}

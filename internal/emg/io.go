@@ -1,0 +1,151 @@
+package emg
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Dataset serialization: a compact binary container so a generated
+// campaign can be archived and re-analyzed byte-identically (the role
+// a recordings release plays for the original study). Layout: magic,
+// protocol header, trial records (subject, gesture, rep, float32
+// samples), CRC-32 trailer over everything after the magic.
+
+var datasetMagic = [8]byte{'P', 'H', 'D', 'E', 'M', 'G', '0', '1'}
+
+// ioLimits guard the reader against corrupt headers.
+const (
+	maxIOSubjects = 1 << 10
+	maxIOChannels = 1 << 12
+	maxIOTrials   = 1 << 20
+	maxIOSamples  = 1 << 24
+)
+
+// Write serializes the dataset.
+func (d *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(datasetMagic[:]); err != nil {
+		return fmt.Errorf("emg: write magic: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(bw, crc)
+	head := []uint64{
+		uint64(d.Protocol.Subjects),
+		uint64(d.Protocol.Channels),
+		math.Float64bits(d.Protocol.SampleRate),
+		math.Float64bits(d.Protocol.TrialSeconds),
+		uint64(d.Protocol.Repetitions),
+		math.Float64bits(d.Protocol.Difficulty),
+		math.Float64bits(d.Protocol.ArtifactRate),
+		math.Float64bits(d.Protocol.Drift),
+		uint64(d.Protocol.Seed),
+		uint64(len(d.Trials)),
+	}
+	if err := binary.Write(out, binary.LittleEndian, head); err != nil {
+		return fmt.Errorf("emg: write header: %w", err)
+	}
+	for i := range d.Trials {
+		tr := &d.Trials[i]
+		meta := []uint32{uint32(tr.Subject), uint32(tr.Gesture), uint32(tr.Rep), uint32(len(tr.Raw))}
+		if err := binary.Write(out, binary.LittleEndian, meta); err != nil {
+			return fmt.Errorf("emg: write trial %d: %w", i, err)
+		}
+		row := make([]float32, d.Protocol.Channels)
+		for _, samples := range tr.Raw {
+			if len(samples) != d.Protocol.Channels {
+				return fmt.Errorf("emg: trial %d has %d channels, want %d", i, len(samples), d.Protocol.Channels)
+			}
+			for c, v := range samples {
+				row[c] = float32(v)
+			}
+			if err := binary.Write(out, binary.LittleEndian, row); err != nil {
+				return fmt.Errorf("emg: write trial %d: %w", i, err)
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("emg: write checksum: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("emg: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadDataset deserializes a dataset written by Write.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("emg: read magic: %w", err)
+	}
+	if magic != datasetMagic {
+		return nil, fmt.Errorf("emg: bad magic %q", magic)
+	}
+	crc := crc32.NewIEEE()
+	in := io.TeeReader(br, crc)
+	head := make([]uint64, 10)
+	if err := binary.Read(in, binary.LittleEndian, head); err != nil {
+		return nil, fmt.Errorf("emg: read header: %w", err)
+	}
+	d := &Dataset{Protocol: Protocol{
+		Subjects:     int(head[0]),
+		Channels:     int(head[1]),
+		SampleRate:   math.Float64frombits(head[2]),
+		TrialSeconds: math.Float64frombits(head[3]),
+		Repetitions:  int(head[4]),
+		Difficulty:   math.Float64frombits(head[5]),
+		ArtifactRate: math.Float64frombits(head[6]),
+		Drift:        math.Float64frombits(head[7]),
+		Seed:         int64(head[8]),
+	}}
+	trials := int(head[9])
+	switch {
+	case d.Protocol.Subjects < 1 || d.Protocol.Subjects > maxIOSubjects,
+		d.Protocol.Channels < 1 || d.Protocol.Channels > maxIOChannels,
+		trials < 0 || trials > maxIOTrials:
+		return nil, fmt.Errorf("emg: implausible header (%d subjects, %d channels, %d trials)",
+			d.Protocol.Subjects, d.Protocol.Channels, trials)
+	}
+	for i := 0; i < trials; i++ {
+		meta := make([]uint32, 4)
+		if err := binary.Read(in, binary.LittleEndian, meta); err != nil {
+			return nil, fmt.Errorf("emg: read trial %d: %w", i, err)
+		}
+		nSamples := int(meta[3])
+		if nSamples < 0 || nSamples > maxIOSamples {
+			return nil, fmt.Errorf("emg: trial %d claims %d samples", i, nSamples)
+		}
+		tr := Trial{
+			Subject: int(meta[0]),
+			Gesture: Gesture(meta[1]),
+			Rep:     int(meta[2]),
+			Raw:     make([][]float64, nSamples),
+		}
+		row := make([]float32, d.Protocol.Channels)
+		for t := 0; t < nSamples; t++ {
+			if err := binary.Read(in, binary.LittleEndian, row); err != nil {
+				return nil, fmt.Errorf("emg: read trial %d sample %d: %w", i, t, err)
+			}
+			s := make([]float64, d.Protocol.Channels)
+			for c, v := range row {
+				s[c] = float64(v)
+			}
+			tr.Raw[t] = s
+		}
+		d.Trials = append(d.Trials, tr)
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("emg: read checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("emg: checksum mismatch: stored %08x, computed %08x", got, want)
+	}
+	return d, nil
+}

@@ -1,0 +1,96 @@
+package emg
+
+import (
+	"bytes"
+	"testing"
+)
+
+func smallDataset() *Dataset {
+	p := DefaultProtocol()
+	p.Subjects = 1
+	p.Repetitions = 2
+	p.TrialSeconds = 0.2
+	return Generate(p)
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	ds := smallDataset()
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Protocol != ds.Protocol {
+		t.Fatalf("protocol changed: %+v vs %+v", got.Protocol, ds.Protocol)
+	}
+	if len(got.Trials) != len(ds.Trials) {
+		t.Fatalf("%d trials, want %d", len(got.Trials), len(ds.Trials))
+	}
+	for i := range ds.Trials {
+		a, b := &ds.Trials[i], &got.Trials[i]
+		if a.Subject != b.Subject || a.Gesture != b.Gesture || a.Rep != b.Rep {
+			t.Fatalf("trial %d metadata changed", i)
+		}
+		for ti := range a.Raw {
+			for c := range a.Raw[ti] {
+				// float32 storage: compare at float32 precision.
+				if float32(a.Raw[ti][c]) != float32(b.Raw[ti][c]) {
+					t.Fatalf("trial %d sample %d ch %d: %g vs %g",
+						i, ti, c, a.Raw[ti][c], b.Raw[ti][c])
+				}
+			}
+		}
+	}
+}
+
+func TestDatasetReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadDataset(bytes.NewReader([]byte("not a dataset at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDatasetReadDetectsCorruption(t *testing.T) {
+	ds := smallDataset()
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	blob[len(blob)/2] ^= 0x01
+	if _, err := ReadDataset(bytes.NewReader(blob)); err == nil {
+		t.Fatal("corrupted dataset accepted")
+	}
+}
+
+func TestDatasetReadRejectsTruncation(t *testing.T) {
+	ds := smallDataset()
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	for _, cut := range []int{8, 40, len(blob) / 2, len(blob) - 2} {
+		if _, err := ReadDataset(bytes.NewReader(blob[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDatasetReadRejectsImplausibleHeader(t *testing.T) {
+	ds := smallDataset()
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	// Overwrite the subject count (first header word).
+	for i := 0; i < 8; i++ {
+		blob[8+i] = 0xee
+	}
+	if _, err := ReadDataset(bytes.NewReader(blob)); err == nil {
+		t.Fatal("absurd subject count accepted")
+	}
+}

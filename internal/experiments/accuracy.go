@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pulphd/internal/baselines"
+	"pulphd/internal/hdc"
+	"pulphd/internal/svm"
+)
+
+// SubjectAccuracy holds one subject's per-algorithm test accuracy.
+type SubjectAccuracy struct {
+	Subject int
+	HD      float64
+	SVM     float64
+	LDA     float64
+	KNN     float64
+	SVs     int // distinct support vectors in the subject's SVM
+}
+
+// AccuracyResult is the §4.1 accuracy comparison: "the mean
+// classification accuracy of gestures among five subjects is 89.6%
+// with SVM, and 92.4% with the HD classifier".
+type AccuracyResult struct {
+	D          int
+	PerSubject []SubjectAccuracy
+	MeanHD     float64
+	MeanSVM    float64
+	MeanLDA    float64
+	MeanKNN    float64
+	MinSVs     int
+}
+
+// hdConfigFor returns the EMG classifier configuration at dimension d
+// for the prepared campaign's channel count.
+func hdConfigFor(p *Prepared, d int) hdc.Config {
+	cfg := hdc.EMGConfig()
+	cfg.D = d
+	cfg.Channels = p.Protocol.Channels
+	return cfg
+}
+
+// trainHD fits an HD classifier on one subject's training windows.
+func trainHD(sub PreparedSubject, cfg hdc.Config) *hdc.Classifier {
+	c := hdc.MustNew(cfg)
+	for _, w := range sub.Train {
+		c.Train(w.Label, w.Window)
+	}
+	return c
+}
+
+// trainSubjectSVM fits the SVM baseline on one subject's features.
+func trainSubjectSVM(sub PreparedSubject) (*svm.Model, error) {
+	features := make([][]float64, len(sub.Train))
+	labels := make([]string, len(sub.Train))
+	for i, w := range sub.Train {
+		features[i] = w.Features
+		labels[i] = w.Label
+	}
+	return svm.Train(features, labels, svm.DefaultConfig())
+}
+
+func trainMatrix(sub PreparedSubject) ([][]float64, []string) {
+	features := make([][]float64, len(sub.Train))
+	labels := make([]string, len(sub.Train))
+	for i, w := range sub.Train {
+		features[i] = w.Features
+		labels[i] = w.Label
+	}
+	return features, labels
+}
+
+// Accuracy runs the per-subject train/test protocol of §4.1 for every
+// algorithm at hypervector dimension d.
+func Accuracy(p *Prepared, d int) (*AccuracyResult, error) {
+	res := &AccuracyResult{D: d, MinSVs: 1 << 30}
+	for _, sub := range p.Subjects {
+		sa := SubjectAccuracy{Subject: sub.Subject}
+
+		hd := trainHD(sub, hdConfigFor(p, d))
+		sa.HD = accuracyOf(func(w LabeledWindow) string {
+			l, _ := hd.Predict(w.Window)
+			return l
+		}, sub.Test)
+
+		sm, err := trainSubjectSVM(sub)
+		if err != nil {
+			return nil, fmt.Errorf("subject %d SVM: %w", sub.Subject, err)
+		}
+		sa.SVM = accuracyOf(func(w LabeledWindow) string { return sm.Predict(w.Features) }, sub.Test)
+		sa.SVs = sm.SupportVectorCount()
+
+		features, labels := trainMatrix(sub)
+		lda, err := baselines.TrainLDA(features, labels, 1e-3)
+		if err != nil {
+			return nil, fmt.Errorf("subject %d LDA: %w", sub.Subject, err)
+		}
+		sa.LDA = accuracyOf(func(w LabeledWindow) string { return lda.Predict(w.Features) }, sub.Test)
+
+		knn, err := baselines.TrainKNN(features, labels, 5)
+		if err != nil {
+			return nil, fmt.Errorf("subject %d KNN: %w", sub.Subject, err)
+		}
+		sa.KNN = accuracyOf(func(w LabeledWindow) string { return knn.Predict(w.Features) }, sub.Test)
+
+		res.PerSubject = append(res.PerSubject, sa)
+		res.MeanHD += sa.HD
+		res.MeanSVM += sa.SVM
+		res.MeanLDA += sa.LDA
+		res.MeanKNN += sa.KNN
+		if sa.SVs < res.MinSVs {
+			res.MinSVs = sa.SVs
+		}
+	}
+	n := float64(len(res.PerSubject))
+	res.MeanHD /= n
+	res.MeanSVM /= n
+	res.MeanLDA /= n
+	res.MeanKNN /= n
+	return res, nil
+}
+
+// Table renders the accuracy comparison.
+func (r *AccuracyResult) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Classification accuracy, %d-D HD vs baselines (§4.1)", r.D),
+		Header: []string{"Subject", "HD", "SVM", "LDA", "KNN", "SVs"},
+	}
+	for _, s := range r.PerSubject {
+		t.AddRow(fmt.Sprintf("S%d", s.Subject+1), pct(s.HD), pct(s.SVM), pct(s.LDA), pct(s.KNN),
+			fmt.Sprintf("%d", s.SVs))
+	}
+	t.AddRow("mean", pct(r.MeanHD), pct(r.MeanSVM), pct(r.MeanLDA), pct(r.MeanKNN),
+		fmt.Sprintf("min %d", r.MinSVs))
+	t.AddNote("paper: HD 92.4%%, SVM 89.6%% (mean over 5 subjects); SVs fixed to 55, the smallest among subjects")
+	return t
+}
+
+// DimSweepResult records the graceful-degradation study: "the HD
+// classifier closely maintains its accuracy when its dimensionality is
+// reduced from 10,000 to 200, but beyond this point the accuracy is
+// dropped significantly" (§4.1).
+type DimSweepResult struct {
+	Dims []int
+	Mean []float64
+}
+
+// DimSweep evaluates the HD classifier's mean accuracy over a range of
+// dimensionalities.
+func DimSweep(p *Prepared, dims []int) *DimSweepResult {
+	res := &DimSweepResult{Dims: dims}
+	for _, d := range dims {
+		var mean float64
+		for _, sub := range p.Subjects {
+			hd := trainHD(sub, hdConfigFor(p, d))
+			mean += accuracyOf(func(w LabeledWindow) string {
+				l, _ := hd.Predict(w.Window)
+				return l
+			}, sub.Test)
+		}
+		res.Mean = append(res.Mean, mean/float64(len(p.Subjects)))
+	}
+	return res
+}
+
+// Table renders the sweep.
+func (r *DimSweepResult) Table() *Table {
+	t := &Table{
+		Title:  "HD accuracy vs hypervector dimension (§4.1)",
+		Header: []string{"D", "mean accuracy"},
+	}
+	for i, d := range r.Dims {
+		t.AddRow(fmt.Sprintf("%d", d), pct(r.Mean[i]))
+	}
+	t.AddNote("paper: accuracy holds from 10,000-D down to 200-D, drops significantly below")
+	return t
+}

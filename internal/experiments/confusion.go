@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ConfusionResult is the aggregated confusion matrix of the HD
+// classifier over all subjects — the per-gesture diagnostic behind
+// the §4.1 mean accuracy.
+type ConfusionResult struct {
+	D      int
+	Labels []string
+	// Counts[i][j] = windows of true class i predicted as class j.
+	Counts [][]int
+}
+
+// Confusion trains per subject and accumulates true-vs-predicted
+// counts over the test windows.
+func Confusion(p *Prepared, d int) *ConfusionResult {
+	idx := map[string]int{}
+	var labels []string
+	intern := func(l string) int {
+		if i, ok := idx[l]; ok {
+			return i
+		}
+		idx[l] = len(labels)
+		labels = append(labels, l)
+		return len(labels) - 1
+	}
+	// Deterministic label order: collect then sort before counting.
+	for _, sub := range p.Subjects {
+		for _, w := range sub.Train {
+			intern(w.Label)
+		}
+	}
+	sort.Strings(labels)
+	idx = map[string]int{}
+	for i, l := range labels {
+		idx[l] = i
+	}
+	counts := make([][]int, len(labels))
+	for i := range counts {
+		counts[i] = make([]int, len(labels))
+	}
+	for _, sub := range p.Subjects {
+		hd := trainHD(sub, hdConfigFor(p, d))
+		for _, w := range sub.Test {
+			got, _ := hd.Predict(w.Window)
+			counts[idx[w.Label]][idx[got]]++
+		}
+	}
+	return &ConfusionResult{D: d, Labels: labels, Counts: counts}
+}
+
+// Recall returns the per-class recall for class index i.
+func (r *ConfusionResult) Recall(i int) float64 {
+	total := 0
+	for _, n := range r.Counts[i] {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Counts[i][i]) / float64(total)
+}
+
+// Accuracy returns the overall accuracy.
+func (r *ConfusionResult) Accuracy() float64 {
+	correct, total := 0, 0
+	for i := range r.Counts {
+		for j, n := range r.Counts[i] {
+			total += n
+			if i == j {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Table renders the matrix with per-class recall.
+func (r *ConfusionResult) Table() *Table {
+	header := []string{"true \\ predicted"}
+	header = append(header, r.Labels...)
+	header = append(header, "recall")
+	t := &Table{
+		Title:  fmt.Sprintf("Confusion matrix — HD classifier, %d-D, all subjects", r.D),
+		Header: header,
+	}
+	for i, label := range r.Labels {
+		row := []string{label}
+		for j := range r.Labels {
+			row = append(row, fmt.Sprintf("%d", r.Counts[i][j]))
+		}
+		row = append(row, pct(r.Recall(i)))
+		t.AddRow(row...)
+	}
+	t.AddNote("overall accuracy %s", pct(r.Accuracy()))
+	return t
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// CSV writes the table as RFC-4180 CSV (header row first; notes as
+// trailing comment-style rows prefixed with "#").
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for i, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row %d: %w", i, err)
+		}
+	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{"# " + n}); err != nil {
+			return fmt.Errorf("experiments: csv note: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the stable JSON shape of a rendered experiment.
+type tableJSON struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// JSON writes the table as a single JSON object.
+func (t *Table) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tableJSON{Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes}); err != nil {
+		return fmt.Errorf("experiments: json: %w", err)
+	}
+	return nil
+}
+
+// Render writes the table in the named format: "text" (default),
+// "csv" or "json".
+func (t *Table) Render(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		t.Format(w)
+		return nil
+	case "csv":
+		return t.CSV(w)
+	case "json":
+		return t.JSON(w)
+	default:
+		return fmt.Errorf("experiments: unknown format %q (want text, csv or json)", format)
+	}
+}

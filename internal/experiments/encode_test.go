@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{Title: "sample", Header: []string{"x", "y"}}
+	t.AddRow("1", "a,b") // comma forces CSV quoting
+	t.AddRow("2", "c")
+	t.AddNote("hello")
+	return t
+}
+
+func TestCSVRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cr := csv.NewReader(&buf)
+	cr.FieldsPerRecord = -1 // note rows are single-field
+	rows, err := cr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 2 rows + note
+		t.Fatalf("%d csv rows", len(rows))
+	}
+	if rows[1][1] != "a,b" {
+		t.Fatalf("quoting broken: %q", rows[1][1])
+	}
+	if !strings.HasPrefix(rows[3][0], "# ") {
+		t.Fatalf("note row %q", rows[3][0])
+	}
+}
+
+func TestJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got tableJSON
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "sample" || len(got.Rows) != 2 || got.Rows[0][1] != "a,b" || len(got.Notes) != 1 {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	for _, f := range []string{"", "text", "csv", "json"} {
+		var buf bytes.Buffer
+		if err := sampleTable().Render(&buf, f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %q produced nothing", f)
+		}
+	}
+	if err := sampleTable().Render(&bytes.Buffer{}, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"pulphd/internal/emg"
+)
+
+// smallPrepared caches a reduced campaign (2 subjects, fewer reps) for
+// fast tests; the full-protocol results are exercised by the root
+// benchmark suite and cmd/pulphd.
+var smallPrepared = sync.OnceValue(func() *Prepared {
+	p := emg.DefaultProtocol()
+	p.Subjects = 2
+	p.Repetitions = 6
+	return Prepare(p, 1)
+})
+
+func TestPrepareShapes(t *testing.T) {
+	p := smallPrepared()
+	if len(p.Subjects) != 2 {
+		t.Fatalf("%d subjects", len(p.Subjects))
+	}
+	for _, sub := range p.Subjects {
+		if len(sub.Train) == 0 || len(sub.Test) == 0 {
+			t.Fatal("empty split")
+		}
+		if len(sub.Train) >= len(sub.Test) {
+			t.Fatalf("train %d not smaller than test %d (25%% split)", len(sub.Train), len(sub.Test))
+		}
+		for _, w := range sub.Train[:3] {
+			if len(w.Window) != 1 || len(w.Window[0]) != p.Protocol.Channels {
+				t.Fatalf("window shape %dx%d", len(w.Window), len(w.Window[0]))
+			}
+			if len(w.Features) != p.Protocol.Channels {
+				t.Fatalf("feature dim %d", len(w.Features))
+			}
+			if w.Label == "" {
+				t.Fatal("missing label")
+			}
+		}
+	}
+}
+
+func TestAccuracyExperiment(t *testing.T) {
+	r, err := Accuracy(smallPrepared(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerSubject) != 2 {
+		t.Fatalf("%d subjects", len(r.PerSubject))
+	}
+	for _, v := range []float64{r.MeanHD, r.MeanSVM, r.MeanLDA, r.MeanKNN} {
+		if v < 0.2 || v > 1 {
+			t.Fatalf("implausible accuracy %v", v)
+		}
+	}
+	// The headline shape: HD competitive with or better than the SVM.
+	if r.MeanHD < r.MeanSVM-0.05 {
+		t.Errorf("HD %.3f far below SVM %.3f", r.MeanHD, r.MeanSVM)
+	}
+	if r.MinSVs <= 0 {
+		t.Error("SV count missing")
+	}
+	tbl := r.Table()
+	if len(tbl.Rows) != 3 { // 2 subjects + mean
+		t.Fatalf("%d table rows", len(tbl.Rows))
+	}
+}
+
+func TestDimSweepDegradesGracefully(t *testing.T) {
+	r := DimSweep(smallPrepared(), []int{2000, 200, 64})
+	if len(r.Mean) != 3 {
+		t.Fatal("wrong sweep length")
+	}
+	// 200-D stays close to 2000-D; 64-D falls further.
+	if r.Mean[0]-r.Mean[1] > 0.08 {
+		t.Errorf("200-D dropped too much: %.3f vs %.3f", r.Mean[1], r.Mean[0])
+	}
+	if r.Mean[2] > r.Mean[0]+0.02 {
+		t.Errorf("64-D should not beat 2000-D: %.3f vs %.3f", r.Mean[2], r.Mean[0])
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r, err := Table1(smallPrepared())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HD must be clearly faster than the SVM at iso-accuracy — the
+	// headline of Table 1 (≈2×).
+	if r.HDKCycles >= r.SVMKCycles {
+		t.Fatalf("HD %.1fk not faster than SVM %.1fk", r.HDKCycles, r.SVMKCycles)
+	}
+	if r.SVMKCycles/r.HDKCycles < 1.3 {
+		t.Errorf("HD/SVM ratio %.2f below the ≈2× of the paper", r.SVMKCycles/r.HDKCycles)
+	}
+	if r.HDAccuracy < 0.5 || r.SVMAccuracy < 0.5 {
+		t.Fatal("implausible accuracy")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := Table2(smallPrepared())
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// Power strictly decreasing down the table (M4 → 1c → 4c@0.7 →
+	// 4c@0.5), boosts increasing.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].TotalmW >= r.Rows[i-1].TotalmW {
+			t.Errorf("row %d power %.2f not below row %d %.2f",
+				i, r.Rows[i].TotalmW, i-1, r.Rows[i-1].TotalmW)
+		}
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.Boost < 8 || last.Boost > 12 {
+		t.Errorf("final boost %.1f×, paper says 9.9×", last.Boost)
+	}
+	if r.EnergySaving < 1.7 || r.EnergySaving > 2.4 {
+		t.Errorf("energy saving %.2f×, paper says 2×", r.EnergySaving)
+	}
+	// All PULP rows share the 10 ms deadline.
+	for _, row := range r.Rows {
+		if row.FreqMHz <= 0 {
+			t.Error("missing frequency")
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := Table3(smallPrepared())
+	if len(r.Configs) != 5 {
+		t.Fatalf("%d configs", len(r.Configs))
+	}
+	total := r.Cells[2]
+	// Speed-ups must rank: 1 < wolf1c < wolf1c-builtin < pulpv3-4c <
+	// wolf8c-builtin (the Table 3 ordering).
+	if !(total[2].Speedup > 1 && total[3].Speedup > total[2].Speedup &&
+		total[1].Speedup > total[2].Speedup && total[4].Speedup > total[1].Speedup) {
+		t.Fatalf("speed-up ordering broken: %+v", total)
+	}
+	if total[4].Speedup < 15 || total[4].Speedup > 23 {
+		t.Errorf("8-core Wolf speed-up %.1f×, paper says 18.4×", total[4].Speedup)
+	}
+	// AM load share must grow from config 0 to config 4.
+	if r.Cells[1][4].LoadPct <= r.Cells[1][0].LoadPct {
+		t.Error("AM load share did not grow with acceleration")
+	}
+}
+
+func TestFig3Linear(t *testing.T) {
+	r := Fig3(smallPrepared())
+	for i, series := range r.KCycles {
+		for j := 1; j < len(series); j++ {
+			if series[j] <= series[j-1] {
+				t.Fatalf("N=%d: cycles not increasing with D", r.NGrams[i])
+			}
+		}
+		// Constant slope (affine growth).
+		s1 := series[1] - series[0]
+		sLast := series[len(series)-1] - series[len(series)-2]
+		if sLast/s1 < 0.9 || sLast/s1 > 1.1 {
+			t.Errorf("N=%d: slope drifts: %.2f vs %.2f", r.NGrams[i], s1, sLast)
+		}
+	}
+	// Larger N means strictly more cycles at every D.
+	for j := range r.Dims {
+		for i := 1; i < len(r.NGrams); i++ {
+			if r.KCycles[i][j] <= r.KCycles[i-1][j] {
+				t.Fatalf("D=%d: N=%d not costlier than N=%d", r.Dims[j], r.NGrams[i], r.NGrams[i-1])
+			}
+		}
+	}
+}
+
+func TestFig4NearIdealScaling(t *testing.T) {
+	r := Fig4(smallPrepared())
+	for i := range r.NGrams {
+		sp := r.Speedup[i]
+		for j := 1; j < len(sp); j++ {
+			if sp[j] <= sp[j-1] {
+				t.Fatalf("N=%d: speed-up not increasing with cores", r.NGrams[i])
+			}
+			if sp[j] > float64(r.Cores[j]) {
+				t.Fatalf("N=%d: super-linear speed-up %.2f on %d cores", r.NGrams[i], sp[j], r.Cores[j])
+			}
+		}
+	}
+	// Paper: ≈6.5× from 8 cores.
+	sp8 := r.Speedup[len(r.Speedup)-1][len(r.Cores)-1]
+	if sp8 < 5.5 {
+		t.Errorf("8-core speed-up %.2f below the paper's ≈6.5×", sp8)
+	}
+}
+
+func TestFig5ChannelScaling(t *testing.T) {
+	r := Fig5(smallPrepared())
+	prevCyc, prevMem := 0.0, 0.0
+	m4FailsAbove := 0
+	for _, row := range r.Rows {
+		if row.KCycles <= prevCyc || row.FootprintKB <= prevMem {
+			t.Fatalf("non-monotonic scaling at %d channels", row.Channels)
+		}
+		prevCyc, prevMem = row.KCycles, row.FootprintKB
+		if row.M4MeetsBudget {
+			m4FailsAbove = row.Channels
+		}
+	}
+	// Paper: the M4 gives out beyond 16 channels; Wolf never does.
+	if m4FailsAbove != 16 {
+		t.Errorf("M4 last feasible channel count %d, paper says 16", m4FailsAbove)
+	}
+	for _, row := range r.Rows {
+		if row.WolfFreqMHz > 350 {
+			t.Errorf("Wolf cannot meet 10 ms at %d channels", row.Channels)
+		}
+	}
+	// Linearity: 256/4 channels ≈ 64× MAP work, diluted by the AM.
+	ratio := r.Rows[len(r.Rows)-1].KCycles / r.Rows[0].KCycles
+	if ratio < 20 || ratio > 70 {
+		t.Errorf("256ch/4ch cycle ratio %.1f implausible", ratio)
+	}
+}
+
+func TestFaultsGraceful(t *testing.T) {
+	r := Faults(smallPrepared(), 2000, []float64{0, 20, 48})
+	if r.MeanAcc[0] < 0.5 {
+		t.Fatal("fault-free accuracy implausible")
+	}
+	// 20% faults barely hurt; 48% collapses toward chance.
+	if r.MeanAcc[0]-r.MeanAcc[1] > 0.15 {
+		t.Errorf("20%% faults dropped accuracy from %.3f to %.3f — not graceful",
+			r.MeanAcc[0], r.MeanAcc[1])
+	}
+	if r.MeanAcc[2] >= r.MeanAcc[0] {
+		t.Errorf("48%% faults should finally hurt (%.3f vs %.3f)", r.MeanAcc[2], r.MeanAcc[0])
+	}
+}
+
+func TestAblationDirections(t *testing.T) {
+	r := Ablation(smallPrepared())
+	if len(r.Rows) != 6 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	if r.Rows[0].DeltaPct != 0 {
+		t.Fatal("baseline delta must be 0")
+	}
+	for _, row := range r.Rows[1:] {
+		if row.DeltaPct <= 0 {
+			t.Errorf("%s: removing an optimization should cost cycles (%.1f%%)", row.Name, row.DeltaPct)
+		}
+	}
+	// Built-ins matter more than double buffering (§5.1 vs §3).
+	if r.Rows[2].DeltaPct <= r.Rows[1].DeltaPct {
+		t.Error("built-ins should dominate the double-buffering effect")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.AddNote("n=%d", 7)
+	s := tbl.String()
+	for _, want := range []string{"=== demo ===", "long-column", "333", "note: n=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 6 { // title, header, sep, 2 rows, note
+		t.Errorf("%d lines:\n%s", len(lines), s)
+	}
+}

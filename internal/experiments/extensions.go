@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pulphd/internal/kernels"
+	"pulphd/internal/pulp"
+)
+
+// FaultResult records the fault-injection robustness study: HD
+// classifiers exhibit "graceful degradation with lower dimensionality,
+// or faulty components" (§4.1).
+type FaultResult struct {
+	D         int
+	FaultPcts []float64
+	MeanAcc   []float64
+}
+
+// Faults trains the 10,000-D classifier per subject, flips a growing
+// fraction of the stored prototype components, and re-measures test
+// accuracy.
+func Faults(p *Prepared, d int, faultPcts []float64) *FaultResult {
+	res := &FaultResult{D: d, FaultPcts: faultPcts}
+	for _, fp := range faultPcts {
+		var mean float64
+		for _, sub := range p.Subjects {
+			hd := trainHD(sub, hdConfigFor(p, d))
+			rng := rand.New(rand.NewSource(7_000 + int64(fp*100)))
+			hd.AM().InjectFaults(int(fp*float64(d)/100), rng)
+			mean += accuracyOf(func(w LabeledWindow) string {
+				l, _ := hd.Predict(w.Window)
+				return l
+			}, sub.Test)
+		}
+		res.MeanAcc = append(res.MeanAcc, mean/float64(len(p.Subjects)))
+	}
+	return res
+}
+
+// Table renders the fault study.
+func (r *FaultResult) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Fault injection — %d-D prototype bit faults vs accuracy (§4.1 robustness)", r.D),
+		Header: []string{"faulty components", "mean accuracy"},
+	}
+	for i, fp := range r.FaultPcts {
+		t.AddRow(fmt.Sprintf("%.0f%%", fp), pct(r.MeanAcc[i]))
+	}
+	t.AddNote("graceful degradation: accuracy must fall slowly, not cliff, as faults grow")
+	return t
+}
+
+// AblationRow is one design-choice toggle.
+type AblationRow struct {
+	Name     string
+	KCycles  float64
+	DeltaPct float64 // versus the baseline configuration
+}
+
+// AblationResult quantifies the design choices §3 and §5.1 call out:
+// DMA double buffering, the bit-manipulation built-ins, and multicore
+// execution.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Ablation measures the EMG chain under each toggle on the Wolf
+// 8-core platform.
+func Ablation(p *Prepared) *AblationResult {
+	chain := kernels.SyntheticChain(10000, p.Protocol.Channels, 1, 5, 1)
+	_, work := chain.Classify(chain.SyntheticWindow(2))
+
+	run := func(plat pulp.Platform) float64 {
+		_, total := plat.RunChain(work.Kernels())
+		return float64(total) / 1e3
+	}
+
+	base := run(pulp.WolfPlatform(8, true))
+	res := &AblationResult{}
+	add := func(name string, k float64) {
+		res.Rows = append(res.Rows, AblationRow{Name: name, KCycles: k, DeltaPct: 100 * (k - base) / base})
+	}
+	add("baseline: Wolf 8c, built-ins, double buffering", base)
+
+	noDB := pulp.WolfPlatform(8, true)
+	noDB.DMA.DoubleBuffered = false
+	add("no DMA double buffering", run(noDB))
+
+	add("no bit-manipulation built-ins", run(pulp.WolfPlatform(8, false)))
+	add("single core", run(pulp.WolfPlatform(1, true)))
+
+	noDMAserial := pulp.WolfPlatform(1, false)
+	noDMAserial.DMA.DoubleBuffered = false
+	add("single core, no built-ins, no double buffering", run(noDMAserial))
+
+	// Banking sensitivity: the calibrated model folds the real
+	// clusters' (small) TCDM contention into its constants; this row
+	// shows what an under-banked scratchpad would cost.
+	twoBanks := pulp.WolfPlatform(8, true)
+	twoBanks.TCDM.Banks = 2
+	add("TCDM with only 2 banks (8 cores)", run(twoBanks))
+	return res
+}
+
+// Table renders the ablation.
+func (r *AblationResult) Table() *Table {
+	t := &Table{
+		Title:  "Ablation — accelerator design choices (EMG chain, 10,000-D)",
+		Header: []string{"Configuration", "kcycles", "Δ vs baseline"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, fmt.Sprintf("%.1f", row.KCycles), fmt.Sprintf("%+.1f%%", row.DeltaPct))
+	}
+	return t
+}

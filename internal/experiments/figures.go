@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pulphd/internal/hdc"
+	"pulphd/internal/kernels"
+	"pulphd/internal/pulp"
+)
+
+// chainCycles runs one classification of a synthetic chain on a
+// platform and returns total cycles.
+func chainCycles(plat pulp.Platform, d, channels, ngram, classes int) int64 {
+	a := kernels.SyntheticChain(d, channels, ngram, classes, 1)
+	_, work := a.Classify(a.SyntheticWindow(2))
+	_, total := plat.RunChain(work.Kernels())
+	return total
+}
+
+// Fig3Result reproduces Fig. 3: execution cycles versus hypervector
+// dimension for several N-gram sizes on the 8-core Wolf with
+// built-ins.
+type Fig3Result struct {
+	Dims   []int
+	NGrams []int
+	// KCycles[n][d] in kcycles.
+	KCycles [][]float64
+}
+
+// Fig3 sweeps the dimension for each N-gram size.
+func Fig3(p *Prepared) *Fig3Result {
+	res := &Fig3Result{
+		Dims:   []int{2000, 4000, 6000, 8000, 10000},
+		NGrams: []int{1, 3, 5, 7, 10},
+	}
+	plat := pulp.WolfPlatform(8, true)
+	for _, n := range res.NGrams {
+		var series []float64
+		for _, d := range res.Dims {
+			series = append(series, float64(chainCycles(plat, d, p.Protocol.Channels, n, 5))/1e3)
+		}
+		res.KCycles = append(res.KCycles, series)
+	}
+	return res
+}
+
+// Table renders Fig. 3 as a series table.
+func (r *Fig3Result) Table() *Table {
+	header := []string{"N-gram \\ D"}
+	for _, d := range r.Dims {
+		header = append(header, fmt.Sprintf("%d", d))
+	}
+	t := &Table{
+		Title:  "Fig. 3 — kcycles vs dimension per N-gram size (Wolf 8 cores built-in)",
+		Header: header,
+	}
+	for i, n := range r.NGrams {
+		row := []string{fmt.Sprintf("N=%d", n)}
+		for _, v := range r.KCycles[i] {
+			row = append(row, fmt.Sprintf("%.1f", v))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: execution time grows linearly with D for every N-gram size")
+	return t
+}
+
+// Fig4Result reproduces Fig. 4: performance with large N-grams across
+// core counts on Wolf with built-ins at 10,000-D.
+type Fig4Result struct {
+	NGrams []int
+	Cores  []int
+	// KCycles[n][coreIdx].
+	KCycles [][]float64
+	// Speedup[n][coreIdx] relative to 1 core at the same N.
+	Speedup [][]float64
+}
+
+// Fig4 sweeps N-gram size × core count.
+func Fig4(p *Prepared) *Fig4Result {
+	res := &Fig4Result{
+		NGrams: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		Cores:  []int{1, 2, 4, 8},
+	}
+	for _, n := range res.NGrams {
+		var cyc, sp []float64
+		for _, cores := range res.Cores {
+			c := float64(chainCycles(pulp.WolfPlatform(cores, true), 10000, p.Protocol.Channels, n, 5)) / 1e3
+			cyc = append(cyc, c)
+		}
+		for i := range cyc {
+			sp = append(sp, cyc[0]/cyc[i])
+		}
+		res.KCycles = append(res.KCycles, cyc)
+		res.Speedup = append(res.Speedup, sp)
+	}
+	return res
+}
+
+// Table renders Fig. 4.
+func (r *Fig4Result) Table() *Table {
+	header := []string{"N-gram"}
+	for _, c := range r.Cores {
+		header = append(header, fmt.Sprintf("%dc kcyc", c), "sp(x)")
+	}
+	t := &Table{
+		Title:  "Fig. 4 — large N-grams across cores (Wolf built-in, 10,000-D)",
+		Header: header,
+	}
+	for i, n := range r.NGrams {
+		row := []string{fmt.Sprintf("N=%d", n)}
+		for j := range r.Cores {
+			row = append(row, fmt.Sprintf("%.1f", r.KCycles[i][j]), fmt.Sprintf("%.2f", r.Speedup[i][j]))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: the accelerator scales such workloads perfectly among the cores (near-ideal speed-up)")
+	return t
+}
+
+// Fig5Row is one channel-count point of Fig. 5.
+type Fig5Row struct {
+	Channels      int
+	KCycles       float64
+	FootprintKB   float64
+	WolfFreqMHz   float64 // frequency needed for 10 ms on Wolf 8c
+	M4FreqMHz     float64 // frequency the M4 would need
+	M4MeetsBudget bool
+}
+
+// Fig5Result reproduces Fig. 5: cycles and memory footprint versus the
+// number of channels on the 8-core Wolf with built-ins at 10,000-D,
+// plus the M4 feasibility check ("it cannot meet the 10 ms latency
+// constraint when the number of channels is larger than 16", §5.2).
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// Fig5 sweeps the channel count.
+func Fig5(p *Prepared) *Fig5Result {
+	const latency = 0.010
+	res := &Fig5Result{}
+	wolf := pulp.WolfPlatform(8, true)
+	m4 := pulp.CortexM4Platform()
+	for _, ch := range []int{4, 8, 16, 32, 64, 128, 256} {
+		a := kernels.SyntheticChain(10000, ch, 1, 5, 1)
+		_, work := a.Classify(a.SyntheticWindow(2))
+		_, wolfCycles := wolf.RunChain(work.Kernels())
+		_, m4Cycles := m4.RunChain(work.Kernels())
+
+		cfg := hdc.EMGConfig()
+		cfg.Channels = ch
+		fp := hdc.MustNew(cfg).Footprint(5)
+
+		wf, _ := wolf.FrequencyForLatency(wolfCycles, latency)
+		mf, mok := m4.FrequencyForLatency(m4Cycles, latency)
+		res.Rows = append(res.Rows, Fig5Row{
+			Channels:      ch,
+			KCycles:       float64(wolfCycles) / 1e3,
+			FootprintKB:   float64(fp.Total()) / 1024,
+			WolfFreqMHz:   wf,
+			M4FreqMHz:     mf,
+			M4MeetsBudget: mok,
+		})
+	}
+	return res
+}
+
+// Table renders Fig. 5.
+func (r *Fig5Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig. 5 — channel scaling (Wolf 8 cores built-in, 10,000-D, 10 ms budget)",
+		Header: []string{"Channels", "kcycles", "mem[kB]", "Wolf f[MHz]", "M4 f[MHz]", "M4 meets 10ms"},
+	}
+	for _, row := range r.Rows {
+		meets := "yes"
+		if !row.M4MeetsBudget {
+			meets = "NO"
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", row.Channels),
+			fmt.Sprintf("%.0f", row.KCycles),
+			fmt.Sprintf("%.0f", row.FootprintKB),
+			fmt.Sprintf("%.1f", row.WolfFreqMHz),
+			fmt.Sprintf("%.1f", row.M4FreqMHz),
+			meets,
+		)
+	}
+	t.AddNote("paper: cycles and footprint grow linearly with channels; the M4 misses 10 ms beyond 16 channels")
+	return t
+}

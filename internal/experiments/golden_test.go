@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden rewrites the golden files when the environment asks
+// for it: UPDATE_GOLDEN=1 go test -run Golden ./internal/experiments
+var updateGolden = os.Getenv("UPDATE_GOLDEN") == "1"
+
+// goldenExperiments are the fully deterministic simulator tables
+// (no dataset dependence beyond the channel count): their rendered
+// output is locked byte for byte, so any drift in the timing or power
+// models is caught immediately.
+func goldenExperiments(p *Prepared) map[string]*Table {
+	return map[string]*Table{
+		"table2":   Table2(p).Table(),
+		"table3":   Table3(p).Table(),
+		"fig3":     Fig3(p).Table(),
+		"fig4":     Fig4(p).Table(),
+		"fig5":     Fig5(p).Table(),
+		"ablation": Ablation(p).Table(),
+		"training": TrainingCost(p).Table(),
+	}
+}
+
+func TestGoldenSimulatorTables(t *testing.T) {
+	p := smallPrepared()
+	for name, tbl := range goldenExperiments(p) {
+		path := filepath.Join("testdata", name+".golden")
+		got := tbl.String()
+		if updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with UPDATE_GOLDEN=1 to create)", name, err)
+		}
+		if string(want) != got {
+			t.Errorf("%s: output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+		}
+	}
+}

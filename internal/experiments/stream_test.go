@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"testing"
+
+	"pulphd/internal/eeg"
+	"pulphd/internal/emg"
+)
+
+func TestSmoothingImprovesWithWindow(t *testing.T) {
+	r := Smoothing(smallPrepared(), 2000, []int{1, 401})
+	if len(r.MeanAcc) != 2 {
+		t.Fatal("wrong result length")
+	}
+	if r.MeanAcc[0] < 0.5 {
+		t.Fatalf("raw accuracy %.3f implausible", r.MeanAcc[0])
+	}
+	// Trial-scale voting must beat raw decisions (artifact bursts are
+	// finally outvoted).
+	if r.MeanAcc[1] <= r.MeanAcc[0] {
+		t.Fatalf("401-decision filter %.3f did not beat raw %.3f", r.MeanAcc[1], r.MeanAcc[0])
+	}
+	tbl := r.Table()
+	if len(tbl.Rows) != 2 {
+		t.Fatal("table rows mismatch")
+	}
+}
+
+func TestOnlineLearningCurve(t *testing.T) {
+	r := Online(smallPrepared(), 2000, 3)
+	if len(r.Reps) != 3 {
+		t.Fatalf("%d curve points", len(r.Reps))
+	}
+	// Fast learning: the first repetition must already be usable, and
+	// more data must not make things dramatically worse.
+	if r.MeanAcc[0] < 0.6 {
+		t.Fatalf("1-rep accuracy %.3f: not fast learning", r.MeanAcc[0])
+	}
+	if r.MeanAcc[2] < r.MeanAcc[0]-0.05 {
+		t.Fatalf("accuracy regressed with more data: %.3f → %.3f", r.MeanAcc[0], r.MeanAcc[2])
+	}
+}
+
+func TestNGramStudySeparatesOrder(t *testing.T) {
+	r := NGramStudy(2000, []int{1, 3}, 25, 25, 1.0, 11)
+	// N=1 is blind to order: near chance (6 classes → 16.7%).
+	if r.MeanAcc[0] > 0.45 {
+		t.Fatalf("N=1 accuracy %.3f on an order-only task; should be near chance", r.MeanAcc[0])
+	}
+	// N=3 captures the order: near perfect.
+	if r.MeanAcc[1] < 0.9 {
+		t.Fatalf("N=3 accuracy %.3f; temporal encoder failed to capture order", r.MeanAcc[1])
+	}
+	if r.Chance < 0.16 || r.Chance > 0.17 {
+		t.Fatalf("chance level %.3f", r.Chance)
+	}
+}
+
+func TestTemporalTaskWindows(t *testing.T) {
+	task := NewTemporalTask(0.5, 3)
+	if len(task.Classes) != 6 {
+		t.Fatalf("%d classes, want 6 permutations", len(task.Classes))
+	}
+	w := task.Window(0)
+	if len(w) != task.SeqLen || len(w[0]) != task.Channels {
+		t.Fatalf("window shape %dx%d", len(w), len(w[0]))
+	}
+	// Classes 0 and 5 are reverses of each other: same multiset of
+	// rows, different order.
+	w0 := task.Classes[0].order
+	w5 := task.Classes[5].order
+	for i := range w0 {
+		if w0[i] != w5[len(w5)-1-i] {
+			t.Fatal("permutation table corrupted")
+		}
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	r := Confusion(smallPrepared(), 2000)
+	if len(r.Labels) != 5 {
+		t.Fatalf("%d labels", len(r.Labels))
+	}
+	// Row sums equal the per-class test window counts; overall
+	// accuracy consistent with the diagonal.
+	if acc := r.Accuracy(); acc < 0.5 || acc > 1 {
+		t.Fatalf("accuracy %.3f", acc)
+	}
+	for i := range r.Labels {
+		rec := r.Recall(i)
+		if rec < 0.3 || rec > 1 {
+			t.Errorf("class %s recall %.3f implausible", r.Labels[i], rec)
+		}
+	}
+	tbl := r.Table()
+	if len(tbl.Rows) != 5 || len(tbl.Rows[0]) != 7 {
+		t.Fatalf("table shape %dx%d", len(tbl.Rows), len(tbl.Rows[0]))
+	}
+}
+
+func TestEEGNeedsTemporalWindow(t *testing.T) {
+	proto := eeg.DefaultProtocol()
+	proto.Subjects = 1
+	proto.TrialsPerClass = 30
+	r := EEG(proto, 2000, []int{1, 29})
+	// N=1 near chance (binary task), N=29 clearly above.
+	if r.MeanAcc[0] > 0.7 {
+		t.Fatalf("N=1 accuracy %.3f on an order-only EEG task", r.MeanAcc[0])
+	}
+	if r.MeanAcc[1] < 0.75 {
+		t.Fatalf("N=29 accuracy %.3f; wide window did not pay off", r.MeanAcc[1])
+	}
+	// Cycle cost grows with N.
+	if r.KCycles[1] <= r.KCycles[0] {
+		t.Fatal("N=29 not costlier than N=1")
+	}
+}
+
+func TestMarginsSeparateCorrectFromWrong(t *testing.T) {
+	r := Margins(smallPrepared(), 2000)
+	if r.NCorrect == 0 || r.NWrong == 0 {
+		t.Skipf("degenerate split: %d correct, %d wrong", r.NCorrect, r.NWrong)
+	}
+	// Correct decisions must enjoy systematically wider margins.
+	if r.CorrectQ[1] <= r.WrongQ[1] {
+		t.Fatalf("median correct margin %.3f not above wrong %.3f", r.CorrectQ[1], r.WrongQ[1])
+	}
+	if r.BelowTiny < 0 || r.BelowTiny > 0.5 {
+		t.Fatalf("coin-flip fraction %.3f implausible", r.BelowTiny)
+	}
+}
+
+func TestQuantilesSorted(t *testing.T) {
+	q := quantiles([]float64{0.5, 0.1, 0.9, 0.3, 0.7})
+	if !(q[0] <= q[1] && q[1] <= q[2]) {
+		t.Fatalf("quantiles out of order: %v", q)
+	}
+	if z := quantiles(nil); z != [3]float64{} {
+		t.Fatalf("empty quantiles %v", z)
+	}
+}
+
+func TestDriftAdaptationOrdering(t *testing.T) {
+	proto := emg.DefaultProtocol()
+	proto.Subjects = 1
+	r := DriftStudy(proto, 2000, 0.8, 0.995)
+	if r.FrozenAcc >= r.AdaptiveAcc {
+		t.Fatalf("adaptive %.3f did not beat frozen %.3f under drift", r.AdaptiveAcc, r.FrozenAcc)
+	}
+	if r.OnlineAcc <= r.FrozenAcc-0.02 {
+		t.Fatalf("unweighted updates %.3f fell below frozen %.3f", r.OnlineAcc, r.FrozenAcc)
+	}
+	for _, v := range []float64{r.FrozenAcc, r.OnlineAcc, r.AdaptiveAcc} {
+		if v < 0.4 || v > 1 {
+			t.Fatalf("implausible accuracy %.3f", v)
+		}
+	}
+}
+
+func TestTrainingCostShape(t *testing.T) {
+	r := TrainingCost(smallPrepared())
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// A labelled update includes the encode plus the counter fold,
+		// so it must cost more than inference but stay the same order
+		// of magnitude.
+		if row.Overhead <= 1.0 || row.Overhead > 3.0 {
+			t.Errorf("%s: train/infer ratio %.2f implausible", row.Platform, row.Overhead)
+		}
+	}
+}
+
+func TestFusionDropoutGraceful(t *testing.T) {
+	r, err := Fusion(4000, 20, 0.8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FullAcc < 0.85 {
+		t.Fatalf("full-suite accuracy %.3f", r.FullAcc)
+	}
+	for i, acc := range r.DropAcc {
+		if acc < r.Chance+0.2 {
+			t.Errorf("dropout of %s collapsed to %.3f", r.Modalities[i], acc)
+		}
+		if acc > r.FullAcc+0.05 {
+			t.Errorf("dropout of %s beats full suite (%.3f > %.3f)", r.Modalities[i], acc, r.FullAcc)
+		}
+	}
+}
+
+func TestTruncationTracksRetraining(t *testing.T) {
+	r := Truncation(smallPrepared(), 2000, []int{500, 100})
+	for i, d := range r.Dims {
+		if r.Truncated[i] < r.Retrained[i]-0.12 {
+			t.Errorf("D=%d: truncated %.3f far below retrained %.3f", d, r.Truncated[i], r.Retrained[i])
+		}
+		if r.Truncated[i] < 0.3 {
+			t.Errorf("D=%d: truncated accuracy %.3f collapsed", d, r.Truncated[i])
+		}
+	}
+}

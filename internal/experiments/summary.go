@@ -1,0 +1,50 @@
+package experiments
+
+import "fmt"
+
+// Summary runs the headline experiments and emits the paper-versus-
+// measured scorecard — the one-table answer to "did the reproduction
+// work?".
+func Summary(p *Prepared) (*Table, error) {
+	acc, err := Accuracy(p, 10000)
+	if err != nil {
+		return nil, err
+	}
+	t1, err := Table1(p)
+	if err != nil {
+		return nil, err
+	}
+	t2 := Table2(p)
+	t3 := Table3(p)
+	f5 := Fig5(p)
+
+	t := &Table{
+		Title:  "Reproduction scorecard — paper vs measured",
+		Header: []string{"claim", "paper", "measured"},
+	}
+	t.AddRow("HD mean accuracy (10,000-D)", "92.4%", pct(acc.MeanHD))
+	t.AddRow("SVM mean accuracy", "89.6%", pct(acc.MeanSVM))
+	t.AddRow("HD vs SVM on M4 at 200-D (cycle ratio)", "2.03x",
+		fmt.Sprintf("%.2fx", t1.SVMKCycles/t1.HDKCycles))
+	t.AddRow("PULPv3 4-core speed-up", "3.73x",
+		fmt.Sprintf("%.2fx", t3.Cells[2][1].Speedup))
+	t.AddRow("Wolf 1-core speed-up", "1.23x",
+		fmt.Sprintf("%.2fx", t3.Cells[2][2].Speedup))
+	t.AddRow("Wolf 1-core built-in speed-up", "2.84x",
+		fmt.Sprintf("%.2fx", t3.Cells[2][3].Speedup))
+	t.AddRow("Wolf 8-core built-in speed-up", "18.38x",
+		fmt.Sprintf("%.2fx", t3.Cells[2][4].Speedup))
+	t.AddRow("power boost vs M4 at 0.5 V", "9.9x",
+		fmt.Sprintf("%.1fx", t2.Rows[len(t2.Rows)-1].Boost))
+	t.AddRow("energy saving 4-core vs 1-core", "2x",
+		fmt.Sprintf("%.2fx", t2.EnergySaving))
+	lastOK := 0
+	for _, row := range f5.Rows {
+		if row.M4MeetsBudget {
+			lastOK = row.Channels
+		}
+	}
+	t.AddRow("max channels where M4 meets 10 ms", "16", fmt.Sprintf("%d", lastOK))
+	t.AddNote("full detail: EXPERIMENTS.md; regenerate any row with the matching experiment name")
+	return t, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pulphd/internal/kernels"
+	"pulphd/internal/pulp"
+)
+
+// Table3Config is one platform column of Table 3.
+type Table3Config struct {
+	Name string
+	Plat pulp.Platform
+}
+
+// Table3Cell is one kernel's measurement on one platform.
+type Table3Cell struct {
+	KCycles float64
+	LoadPct float64
+	Speedup float64 // wrt PULPv3 1-core, same kernel
+}
+
+// Table3Result reproduces Table 3: per-kernel cycles, load split and
+// speed-ups across PULPv3 and Wolf (built-in, 10,000-D, N=1).
+type Table3Result struct {
+	Configs []Table3Config
+	// Cells[kernel][config]; kernel 0 = MAP+ENCODERS, 1 = AM,
+	// 2 = TOTAL.
+	Cells [3][]Table3Cell
+}
+
+// Table3Kernels are the row labels in paper order.
+var Table3Kernels = [3]string{kernels.KernelMapEncode, kernels.KernelAM, "TOTAL"}
+
+// Table3 runs the EMG chain work on the five platform configurations
+// of the paper.
+func Table3(p *Prepared) *Table3Result {
+	chain := kernels.SyntheticChain(10000, p.Protocol.Channels, 1, 5, 1)
+	_, work := chain.Classify(chain.SyntheticWindow(2))
+
+	res := &Table3Result{
+		Configs: []Table3Config{
+			{"PULPv3 1 core", pulp.PULPv3Platform(1)},
+			{"PULPv3 4 cores", pulp.PULPv3Platform(4)},
+			{"Wolf 1 core", pulp.WolfPlatform(1, false)},
+			{"Wolf 1 core built-in", pulp.WolfPlatform(1, true)},
+			{"Wolf 8 cores built-in", pulp.WolfPlatform(8, true)},
+		},
+	}
+	var base [3]float64
+	for ci, cfg := range res.Configs {
+		rs, total := cfg.Plat.RunChain(work.Kernels())
+		vals := [3]float64{float64(rs[0].Total()), float64(rs[1].Total()), float64(total)}
+		if ci == 0 {
+			base = vals
+		}
+		for k := 0; k < 3; k++ {
+			res.Cells[k] = append(res.Cells[k], Table3Cell{
+				KCycles: vals[k] / 1e3,
+				LoadPct: 100 * vals[k] / vals[2],
+				Speedup: base[k] / vals[k],
+			})
+		}
+	}
+	return res
+}
+
+// Table renders Table 3.
+func (r *Table3Result) Table() *Table {
+	header := []string{"Kernel"}
+	for _, c := range r.Configs {
+		header = append(header, c.Name+" cyc(k)", "ld(%)", "sp(x)")
+	}
+	t := &Table{
+		Title:  "Table 3 — accelerated HD on PULPv3 vs Wolf (built-in, 10,000-D, N=1)",
+		Header: header,
+	}
+	for k, name := range Table3Kernels {
+		row := []string{name}
+		for _, cell := range r.Cells[k] {
+			row = append(row,
+				fmt.Sprintf("%.0f", cell.KCycles),
+				fmt.Sprintf("%.1f", cell.LoadPct),
+				fmt.Sprintf("%.2f", cell.Speedup))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper totals: 533k / 143k (3.73×) / 434k (1.23×) / 188k (2.84×) / 29k (18.38×)")
+	t.AddNote("paper load split: 92.3/7.7%% on PULPv3 1c → 86.2/13.8%% on Wolf 8c built-in")
+	return t
+}

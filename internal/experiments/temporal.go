@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pulphd/internal/hdc"
+)
+
+// The temporal-order study isolates what the temporal encoder buys:
+// a task whose classes contain the *same* spatial patterns in
+// *different order* — the structure of the EEG-scale workloads the
+// paper scales toward (§5.2, [21]). A spatial-only classifier (N=1)
+// bundles away the order and collapses to chance; N-gram encoding
+// recovers it, because "permutation ... is good for storing a
+// sequence" (§2.1).
+
+// TemporalTask is a synthetic sequence-classification task.
+type TemporalTask struct {
+	Channels int
+	SeqLen   int
+	Classes  []temporalClass
+	noise    float64
+	rng      *rand.Rand
+}
+
+type temporalClass struct {
+	label string
+	order []int // indices into the shared pattern set
+}
+
+// temporalPatterns is the shared spatial vocabulary: every class uses
+// exactly the same three patterns, once each.
+var temporalPatterns = [][]float64{
+	{17, 3, 9, 2},
+	{3, 16, 2, 11},
+	{9, 8, 17, 4},
+}
+
+// NewTemporalTask builds the task: the 6 permutations of the 3 shared
+// patterns form 6 classes whose per-window *content* is identical.
+func NewTemporalTask(noise float64, seed int64) *TemporalTask {
+	t := &TemporalTask{
+		Channels: 4,
+		SeqLen:   3,
+		noise:    noise,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for i, p := range perms {
+		t.Classes = append(t.Classes, temporalClass{
+			label: fmt.Sprintf("seq-%d", i),
+			order: p,
+		})
+	}
+	return t
+}
+
+// Window synthesizes one noisy sequence window of the given class.
+func (t *TemporalTask) Window(class int) [][]float64 {
+	out := make([][]float64, t.SeqLen)
+	for step, pi := range t.Classes[class].order {
+		row := make([]float64, t.Channels)
+		for c := 0; c < t.Channels; c++ {
+			row[c] = temporalPatterns[pi][c] + t.rng.NormFloat64()*t.noise
+		}
+		out[step] = row
+	}
+	return out
+}
+
+// NGramStudyResult reports accuracy on the temporal task as a
+// function of the N-gram size.
+type NGramStudyResult struct {
+	D       int
+	NGrams  []int
+	MeanAcc []float64
+	Chance  float64
+}
+
+// NGramStudy trains and tests an HD classifier per N-gram size on the
+// temporal-order task. For n < SeqLen the window's N-grams are
+// bundled; only n = SeqLen captures the full order in one N-gram.
+func NGramStudy(d int, ngrams []int, trainPerClass, testPerClass int, noise float64, seed int64) *NGramStudyResult {
+	task := NewTemporalTask(noise, seed)
+	res := &NGramStudyResult{D: d, NGrams: ngrams, Chance: 1 / float64(len(task.Classes))}
+	for _, n := range ngrams {
+		cfg := hdc.Config{
+			D:        d,
+			Channels: task.Channels,
+			Levels:   22,
+			MinLevel: 0,
+			MaxLevel: 21,
+			NGram:    n,
+			Window:   task.SeqLen,
+			Seed:     seed + int64(n),
+		}
+		cls := hdc.MustNew(cfg)
+		for i := 0; i < trainPerClass; i++ {
+			for ci, c := range task.Classes {
+				cls.Train(c.label, task.Window(ci))
+			}
+		}
+		correct, total := 0, 0
+		for i := 0; i < testPerClass; i++ {
+			for ci, c := range task.Classes {
+				if got, _ := cls.Predict(task.Window(ci)); got == c.label {
+					correct++
+				}
+				total++
+			}
+		}
+		res.MeanAcc = append(res.MeanAcc, float64(correct)/float64(total))
+	}
+	return res
+}
+
+// Table renders the study.
+func (r *NGramStudyResult) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Temporal encoding — order-only task accuracy vs N-gram size (%d-D)", r.D),
+		Header: []string{"N-gram", "accuracy"},
+	}
+	for i, n := range r.NGrams {
+		t.AddRow(fmt.Sprintf("N=%d", n), pct(r.MeanAcc[i]))
+	}
+	t.AddNote("6 classes sharing identical spatial content, distinguished only by order; chance = %.1f%%", 100*r.Chance)
+	t.AddNote("N=1 discards order (≈chance); N=3 captures the full sequence")
+	return t
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pulphd/internal/kernels"
+	"pulphd/internal/power"
+	"pulphd/internal/pulp"
+)
+
+// TrainingCostResult quantifies on-device learning: cycles and energy
+// of one labelled AM update (encode + counter fold) versus one
+// inference, per platform — turning §3's on-line-learning note into
+// a budget a wearable designer can use.
+type TrainingCostResult struct {
+	Rows []TrainingCostRow
+}
+
+// TrainingCostRow is one platform's numbers.
+type TrainingCostRow struct {
+	Platform      string
+	InferKCycles  float64
+	TrainKCycles  float64
+	Overhead      float64 // train/infer ratio
+	TrainEnergyUJ float64 // at the 10 ms operating point, where defined
+}
+
+// TrainingCost runs the EMG-geometry chain on the paper's platforms.
+func TrainingCost(p *Prepared) *TrainingCostResult {
+	chain := kernels.SyntheticChain(10000, p.Protocol.Channels, 1, 5, 1)
+	window := chain.SyntheticWindow(2)
+	_, inferWork := chain.Classify(window)
+	trainWork := chain.TrainChain(window)
+
+	res := &TrainingCostResult{}
+	add := func(plat pulp.Platform, pw func(freq float64) float64) {
+		_, infer := plat.RunChain(inferWork.Kernels())
+		_, train := plat.RunChain(trainWork)
+		row := TrainingCostRow{
+			Platform:     plat.Name,
+			InferKCycles: float64(infer) / 1e3,
+			TrainKCycles: float64(train) / 1e3,
+			Overhead:     float64(train) / float64(infer),
+		}
+		if freq, ok := plat.FrequencyForLatency(infer, 0.010); ok && pw != nil {
+			row.TrainEnergyUJ = power.EnergyPerClassification(pw(freq), train, freq)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	add(pulp.CortexM4Platform(), func(f float64) float64 { return power.CortexM4Power(f).Total() })
+	add(pulp.PULPv3Platform(4), func(f float64) float64 {
+		return power.PULPv3Power(power.OperatingPoint{VoltageV: 0.5, FreqMHz: f}, 4).Total()
+	})
+	add(pulp.WolfPlatform(8, true), func(f float64) float64 {
+		return power.WolfPower(power.OperatingPoint{VoltageV: 0.5, FreqMHz: f}, 8).Total()
+	})
+	return res
+}
+
+// Table renders the training-cost study.
+func (r *TrainingCostResult) Table() *Table {
+	t := &Table{
+		Title:  "On-device learning cost — one labelled AM update vs one inference (10,000-D)",
+		Header: []string{"platform", "infer kcyc", "train kcyc", "train/infer", "train E[µJ]"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Platform,
+			fmt.Sprintf("%.0f", row.InferKCycles),
+			fmt.Sprintf("%.0f", row.TrainKCycles),
+			fmt.Sprintf("%.2f×", row.Overhead),
+			fmt.Sprintf("%.1f", row.TrainEnergyUJ))
+	}
+	t.AddNote("update = encode + per-component counter fold + prototype re-threshold (counters L1-resident)")
+	t.AddNote("Wolf energy uses the extrapolated power model (power.WolfPower)")
+	return t
+}

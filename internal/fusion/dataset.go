@@ -1,0 +1,65 @@
+package fusion
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Activity labels of the synthetic wearable task.
+var Activities = []string{"rest", "walk", "run", "sit-down", "wave"}
+
+// activitySignature returns the per-modality mean channel levels of
+// an activity for the WearableModalities suite, expressed in each
+// modality's physical units.
+func activitySignature(activity string) [][]float64 {
+	switch activity {
+	case "rest":
+		return [][]float64{{0, 0, 1.0}, {2, 3, 1}, {0.8, 0.8, 0.8, 0.8}}
+	case "walk":
+		return [][]float64{{0.4, 0.2, 1.1}, {60, 25, 15}, {4, 5, 3, 4}}
+	case "run":
+		return [][]float64{{1.3, 0.6, 1.4}, {170, 90, 60}, {9, 11, 8, 9}}
+	case "sit-down":
+		return [][]float64{{-0.5, 0.3, 0.7}, {-80, 40, 20}, {3, 2, 6, 5}}
+	case "wave":
+		return [][]float64{{0.2, 1.0, 0.9}, {30, 180, 120}, {2, 3, 12, 14}}
+	default:
+		panic(fmt.Sprintf("fusion: unknown activity %q", activity))
+	}
+}
+
+// Sample is one labelled multimodal observation.
+type Sample struct {
+	Activity string
+	Values   [][]float64 // [modality][channel]
+}
+
+// GenerateSamples synthesizes n labelled samples per activity with
+// the given relative noise. dropModality, when ≥ 0, replaces that
+// modality's readings with pure sensor noise — a disconnected or
+// failed sensor.
+func GenerateSamples(mods []Modality, perActivity int, noise float64, dropModality int, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Sample
+	for _, act := range Activities {
+		sig := activitySignature(act)
+		for i := 0; i < perActivity; i++ {
+			values := make([][]float64, len(mods))
+			for m, mod := range mods {
+				row := make([]float64, mod.Channels)
+				span := (mod.Max - mod.Min) / 10
+				for c := range row {
+					if m == dropModality {
+						// Dead sensor: mid-rail plus noise.
+						row[c] = (mod.Min+mod.Max)/2 + rng.NormFloat64()*span*2
+					} else {
+						row[c] = sig[m][c%len(sig[m])] + rng.NormFloat64()*span*noise
+					}
+				}
+				values[m] = row
+			}
+			out = append(out, Sample{Activity: act, Values: values})
+		}
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package fusion_test
+
+import (
+	"fmt"
+
+	"pulphd/internal/fusion"
+)
+
+// Fuse an accelerometer, a gyroscope and an EMG armband into one HD
+// representation and recognize activities.
+func Example() {
+	mods := fusion.WearableModalities()
+	enc, err := fusion.NewEncoder(8000, mods, 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cls := fusion.NewClassifier(enc, 43)
+	for _, s := range fusion.GenerateSamples(mods, 20, 0.8, -1, 1) {
+		cls.Train(s.Activity, s.Values)
+	}
+
+	// One fresh observation: strong vertical acceleration, fast
+	// rotation, high EMG — a run.
+	label, _ := cls.Predict([][]float64{
+		{1.3, 0.6, 1.4}, // accel (g)
+		{170, 90, 60},   // gyro (dps)
+		{9, 11, 8, 9},   // emg (mV)
+	})
+	fmt.Println(label)
+	// Output:
+	// run
+}

@@ -1,0 +1,117 @@
+// Package fusion implements HD-based multimodal sensor fusion, the
+// application class of the paper's reference [23] (categorization of
+// body physical activities from several heterogeneous sensors): each
+// modality — with its own channel count and analog range — is
+// spatially encoded against its own item memories, bound to a random
+// modality-key hypervector, and the bound records are fused by
+// componentwise majority into one representation. Because every
+// modality contributes one vote, the fused classifier degrades
+// gracefully when a sensor drops out — the property the experiment
+// harness quantifies.
+package fusion
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pulphd/internal/hdc"
+	"pulphd/internal/hv"
+)
+
+// Modality describes one sensor group.
+type Modality struct {
+	Name     string
+	Channels int
+	Min, Max float64
+	Levels   int
+}
+
+// WearableModalities is the [23]-style sensor suite: a 3-axis
+// accelerometer, a 3-axis gyroscope and a 4-channel EMG armband.
+func WearableModalities() []Modality {
+	return []Modality{
+		{Name: "accel", Channels: 3, Min: -2, Max: 2, Levels: 22},
+		{Name: "gyro", Channels: 3, Min: -250, Max: 250, Levels: 22},
+		{Name: "emg", Channels: 4, Min: 0, Max: 21, Levels: 22},
+	}
+}
+
+// Encoder fuses one time-aligned multimodal sample into a
+// hypervector.
+type Encoder struct {
+	d        int
+	mods     []Modality
+	keys     []hv.Vector
+	spatials []*hdc.SpatialEncoder
+	// scratch
+	bound []hv.Vector
+	fused hv.Vector
+}
+
+// NewEncoder builds per-modality item memories and modality keys.
+func NewEncoder(d int, mods []Modality, seed int64) (*Encoder, error) {
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("fusion: no modalities")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	e := &Encoder{d: d, mods: append([]Modality(nil), mods...), fused: hv.New(d)}
+	for i, m := range mods {
+		if m.Channels < 1 || m.Max <= m.Min || m.Levels < 2 {
+			return nil, fmt.Errorf("fusion: modality %q invalid: %+v", m.Name, m)
+		}
+		im := hdc.NewItemMemory(d, m.Channels, seed+int64(i)*131)
+		cim := hdc.NewContinuousItemMemory(d, m.Levels, m.Min, m.Max, seed+int64(i)*131+1)
+		e.spatials = append(e.spatials, hdc.NewSpatialEncoder(im, cim))
+		e.keys = append(e.keys, hv.NewRandom(d, rng))
+		e.bound = append(e.bound, hv.New(d))
+	}
+	return e, nil
+}
+
+// Modalities returns the configured sensor groups.
+func (e *Encoder) Modalities() []Modality { return append([]Modality(nil), e.mods...) }
+
+// Dim returns the hypervector dimensionality.
+func (e *Encoder) Dim() int { return e.d }
+
+// Encode fuses one sample: sample[m] holds modality m's channel
+// values. The per-modality spatial vectors are bound to their keys
+// and majority-fused (an explicit tie-break joins even modality
+// counts, as in the spatial encoder).
+func (e *Encoder) Encode(sample [][]float64) hv.Vector {
+	if len(sample) != len(e.mods) {
+		panic(fmt.Sprintf("fusion: Encode: %d modalities, want %d", len(sample), len(e.mods)))
+	}
+	for i := range e.mods {
+		s := e.spatials[i].Encode(sample[i])
+		hv.XorTo(e.bound[i], e.keys[i], s)
+	}
+	set := e.bound
+	if len(set)%2 == 0 {
+		tie := hv.Xor(set[0], set[1])
+		set = append(append([]hv.Vector(nil), set...), tie)
+	}
+	hv.MajorityTo(e.fused, set)
+	return e.fused.Clone()
+}
+
+// Classifier is a trained multimodal activity recognizer.
+type Classifier struct {
+	Enc *Encoder
+	AM  *hdc.AssociativeMemory
+}
+
+// NewClassifier wraps an encoder with an empty associative memory.
+func NewClassifier(e *Encoder, seed int64) *Classifier {
+	return &Classifier{Enc: e, AM: hdc.NewAssociativeMemory(e.Dim(), seed)}
+}
+
+// Train folds one labelled sample into the class prototype.
+func (c *Classifier) Train(label string, sample [][]float64) {
+	c.AM.Update(label, c.Enc.Encode(sample))
+}
+
+// Predict classifies one sample.
+func (c *Classifier) Predict(sample [][]float64) (string, int) {
+	return c.AM.Classify(c.Enc.Encode(sample))
+}

@@ -1,0 +1,123 @@
+package fusion
+
+import (
+	"testing"
+
+	"pulphd/internal/hv"
+)
+
+func newTestClassifier(t *testing.T, d int) *Classifier {
+	t.Helper()
+	enc, err := NewEncoder(d, WearableModalities(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewClassifier(enc, 6)
+}
+
+func trainOn(c *Classifier, samples []Sample) {
+	for _, s := range samples {
+		c.Train(s.Activity, s.Values)
+	}
+}
+
+func scoreOn(c *Classifier, samples []Sample) float64 {
+	correct := 0
+	for _, s := range samples {
+		if got, _ := c.Predict(s.Values); got == s.Activity {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+func TestFusionClassifiesActivities(t *testing.T) {
+	c := newTestClassifier(t, 4000)
+	mods := c.Enc.Modalities()
+	trainOn(c, GenerateSamples(mods, 15, 0.8, -1, 1))
+	acc := scoreOn(c, GenerateSamples(mods, 20, 0.8, -1, 2))
+	if acc < 0.9 {
+		t.Fatalf("fused accuracy %.2f", acc)
+	}
+}
+
+func TestFusionSurvivesModalityDropout(t *testing.T) {
+	// With one sensor dead at test time, the remaining modalities'
+	// votes must keep the classifier far above chance (the [23]
+	// robustness claim).
+	c := newTestClassifier(t, 8000)
+	mods := c.Enc.Modalities()
+	trainOn(c, GenerateSamples(mods, 15, 0.8, -1, 3))
+	full := scoreOn(c, GenerateSamples(mods, 20, 0.8, -1, 4))
+	for drop := 0; drop < len(mods); drop++ {
+		acc := scoreOn(c, GenerateSamples(mods, 20, 0.8, drop, int64(5+drop)))
+		if acc < 0.55 {
+			t.Errorf("dropout of %s: accuracy %.2f collapsed (full %.2f)", mods[drop].Name, acc, full)
+		}
+		if acc > full+0.05 {
+			t.Errorf("dropout of %s: accuracy %.2f beats full %.2f?", mods[drop].Name, acc, full)
+		}
+	}
+}
+
+func TestEncoderModalityKeysSeparate(t *testing.T) {
+	// The same physical value on different modalities must encode far
+	// apart (keys bind the provenance).
+	enc, err := NewEncoder(8000, []Modality{
+		{Name: "a", Channels: 2, Min: 0, Max: 10, Levels: 11},
+		{Name: "b", Channels: 2, Min: 0, Max: 10, Levels: 11},
+		{Name: "c", Channels: 2, Min: 0, Max: 10, Levels: 11},
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-range swing so the two levels are orthogonal in each CIM.
+	x := enc.Encode([][]float64{{10, 10}, {0, 0}, {0, 0}}).Clone()
+	y := enc.Encode([][]float64{{0, 0}, {10, 10}, {0, 0}})
+	if d := hv.Hamming(x, y); d < 1500 {
+		t.Fatalf("modality swap moved the encoding by only %d bits", d)
+	}
+}
+
+func TestEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(1000, nil, 1); err == nil {
+		t.Error("empty modality list accepted")
+	}
+	if _, err := NewEncoder(1000, []Modality{{Name: "x", Channels: 0, Min: 0, Max: 1, Levels: 5}}, 1); err == nil {
+		t.Error("zero channels accepted")
+	}
+	if _, err := NewEncoder(1000, []Modality{{Name: "x", Channels: 1, Min: 1, Max: 1, Levels: 5}}, 1); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestEncodePanicsOnWrongShape(t *testing.T) {
+	enc, err := NewEncoder(1000, WearableModalities(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong modality count")
+		}
+	}()
+	enc.Encode([][]float64{{1, 2, 3}})
+}
+
+func TestGenerateSamplesShape(t *testing.T) {
+	mods := WearableModalities()
+	ss := GenerateSamples(mods, 4, 0.5, -1, 12)
+	if len(ss) != 4*len(Activities) {
+		t.Fatalf("%d samples", len(ss))
+	}
+	for _, s := range ss {
+		if len(s.Values) != len(mods) {
+			t.Fatal("modality count wrong")
+		}
+		for m, v := range s.Values {
+			if len(v) != mods[m].Channels {
+				t.Fatal("channel count wrong")
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package hdc
+
+import (
+	"math/rand"
+	"testing"
+
+	"pulphd/internal/hv"
+)
+
+func TestAdaptiveDecayOneMatchesStandardAM(t *testing.T) {
+	// decay = 1 must reproduce the unweighted on-line AM prototype
+	// exactly (odd update counts avoid tie randomness).
+	rng := rand.New(rand.NewSource(1))
+	const d = 1000
+	std := NewAssociativeMemory(d, 2)
+	ada := NewAdaptiveMemory(d, 1.0, 2)
+	for i := 0; i < 9; i++ {
+		v := hv.NewRandom(d, rng)
+		std.Update("x", v)
+		ada.Update("x", v)
+	}
+	if !hv.Equal(std.Prototype(0), ada.Prototype(0)) {
+		t.Fatal("decay-1 adaptive prototype deviates from the standard AM")
+	}
+}
+
+func TestAdaptiveTracksDrift(t *testing.T) {
+	// Present template A for a while, then switch to a distant
+	// template B: the decayed prototype must converge to B while an
+	// unweighted one stays stuck between.
+	rng := rand.New(rand.NewSource(3))
+	const d = 10000
+	a := hv.NewRandom(d, rng)
+	b := hv.NewRandom(d, rng)
+	ada := NewAdaptiveMemory(d, 0.9, 4)
+	std := NewAssociativeMemory(d, 5)
+	noisy := func(v hv.Vector) hv.Vector {
+		n := v.Clone()
+		n.FlipBits(d/20, rng)
+		return n
+	}
+	for i := 0; i < 40; i++ {
+		v := noisy(a)
+		ada.Update("x", v)
+		std.Update("x", v)
+	}
+	for i := 0; i < 40; i++ {
+		v := noisy(b)
+		ada.Update("x", v)
+		std.Update("x", v)
+	}
+	adaDist := hv.Hamming(ada.Prototype(0), b)
+	stdDist := hv.Hamming(std.Prototype(0), b)
+	if adaDist > d/8 {
+		t.Fatalf("adaptive prototype still %d from the new regime", adaDist)
+	}
+	if adaDist >= stdDist {
+		t.Fatalf("adaptive (%d) no closer to the new regime than unweighted (%d)", adaDist, stdDist)
+	}
+}
+
+func TestAdaptiveClassify(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const d = 5000
+	am := NewAdaptiveMemory(d, 0.95, 7)
+	protos := map[string]hv.Vector{"a": hv.NewRandom(d, rng), "b": hv.NewRandom(d, rng)}
+	for i := 0; i < 11; i++ {
+		for label, p := range protos {
+			n := p.Clone()
+			n.FlipBits(d/10, rng)
+			am.Update(label, n)
+		}
+	}
+	for label, p := range protos {
+		q := p.Clone()
+		q.FlipBits(d/10, rng)
+		if got, _ := am.Classify(q); got != label {
+			t.Fatalf("query near %q classified as %q", label, got)
+		}
+	}
+	if am.Classes() != 2 || len(am.Labels()) != 2 {
+		t.Fatal("class bookkeeping broken")
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad dim":      func() { NewAdaptiveMemory(0, 0.9, 1) },
+		"zero decay":   func() { NewAdaptiveMemory(10, 0, 1) },
+		"excess decay": func() { NewAdaptiveMemory(10, 1.1, 1) },
+		"empty classify": func() {
+			NewAdaptiveMemory(10, 0.9, 1).Classify(hv.New(10))
+		},
+		"dim mismatch": func() {
+			am := NewAdaptiveMemory(10, 0.9, 1)
+			am.Update("x", hv.New(11))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,209 @@
+package hdc
+
+import (
+	"math/rand"
+	"testing"
+
+	"pulphd/internal/hv"
+)
+
+func TestAMClassifyNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const d = 10000
+	am := NewAssociativeMemory(d, 2)
+	protos := map[string]hv.Vector{}
+	for _, label := range []string{"rest", "open", "closed", "pinch", "point"} {
+		p := hv.NewRandom(d, rng)
+		protos[label] = p
+		am.SetPrototype(label, p)
+	}
+	for label, p := range protos {
+		query := p.Clone()
+		query.FlipBits(d/10, rng) // 10% noise, still unambiguous
+		got, dist := am.Classify(query)
+		if got != label {
+			t.Errorf("query near %q classified as %q", label, got)
+		}
+		if dist != d/10 {
+			t.Errorf("distance %d, want %d", dist, d/10)
+		}
+	}
+}
+
+func TestAMEmptyPanics(t *testing.T) {
+	am := NewAssociativeMemory(100, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Classify on empty AM did not panic")
+		}
+	}()
+	am.Classify(hv.New(100))
+}
+
+func TestAMUpdateIncremental(t *testing.T) {
+	// On-line learning: prototypes converge to the majority of what
+	// was presented.
+	rng := rand.New(rand.NewSource(3))
+	const d = 10000
+	am := NewAssociativeMemory(d, 4)
+	template := hv.NewRandom(d, rng)
+	for i := 0; i < 9; i++ {
+		noisy := template.Clone()
+		noisy.FlipBits(d/5, rng)
+		am.Update("g", noisy)
+	}
+	if dist := hv.Hamming(am.Prototype(0), template); dist > d/10 {
+		t.Fatalf("prototype %d away from template after 9 updates", dist)
+	}
+}
+
+func TestAMUpdateAfterSetPrototypePanics(t *testing.T) {
+	am := NewAssociativeMemory(100, 5)
+	am.SetPrototype("fixed", hv.New(100))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Update on fixed prototype did not panic")
+		}
+	}()
+	am.Update("fixed", hv.New(100))
+}
+
+func TestAMLabelsAndClasses(t *testing.T) {
+	am := NewAssociativeMemory(64, 6)
+	am.SetPrototype("a", hv.New(64))
+	am.SetPrototype("b", hv.New(64))
+	am.SetPrototype("a", hv.New(64)) // replace, not append
+	if am.Classes() != 2 {
+		t.Fatalf("Classes() = %d, want 2", am.Classes())
+	}
+	labels := am.Labels()
+	if len(labels) != 2 || labels[0] != "a" || labels[1] != "b" {
+		t.Fatalf("Labels() = %v", labels)
+	}
+}
+
+func TestAMDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const d = 1000
+	am := NewAssociativeMemory(d, 8)
+	a, b := hv.NewRandom(d, rng), hv.NewRandom(d, rng)
+	am.SetPrototype("a", a)
+	am.SetPrototype("b", b)
+	q := hv.NewRandom(d, rng)
+	ds := am.Distances(q)
+	if ds[0] != hv.Hamming(q, a) || ds[1] != hv.Hamming(q, b) {
+		t.Fatalf("Distances() = %v", ds)
+	}
+}
+
+func TestAMSizeBytes(t *testing.T) {
+	// Paper §3: AM (5×313 words) ≈ 7 kB (counted as 5×313×4 = 6260 B).
+	am := NewAssociativeMemory(10000, 9)
+	for _, l := range []string{"a", "b", "c", "d", "e"} {
+		am.SetPrototype(l, hv.New(10000))
+	}
+	if got := am.SizeBytes(); got != 5*313*4 {
+		t.Fatalf("AM size %d B, want %d B", got, 5*313*4)
+	}
+}
+
+func TestAMFaultInjectionGracefulDegradation(t *testing.T) {
+	// With modest fault counts classification still works: the
+	// robustness claim of §4.1.
+	rng := rand.New(rand.NewSource(10))
+	const d = 10000
+	am := NewAssociativeMemory(d, 11)
+	protos := make([]hv.Vector, 5)
+	labels := []string{"a", "b", "c", "d", "e"}
+	for i, l := range labels {
+		protos[i] = hv.NewRandom(d, rng)
+		am.SetPrototype(l, protos[i])
+	}
+	am.InjectFaults(d/20, rng) // 5% faulty cells per prototype
+	correct := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		k := i % 5
+		q := protos[k].Clone()
+		q.FlipBits(d/10, rng)
+		if got, _ := am.Classify(q); got == labels[k] {
+			correct++
+		}
+	}
+	if correct < trials*9/10 {
+		t.Fatalf("only %d/%d correct with 5%% faults; degradation not graceful", correct, trials)
+	}
+}
+
+func TestAMDimensionMismatchPanics(t *testing.T) {
+	am := NewAssociativeMemory(100, 12)
+	am.SetPrototype("x", hv.New(100))
+	for name, f := range map[string]func(){
+		"Update":       func() { am.Update("x2", hv.New(99)) },
+		"SetPrototype": func() { am.SetPrototype("y", hv.New(101)) },
+		"Classify":     func() { am.Classify(hv.New(50)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on dimension mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAMRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	const d = 10000
+	am := NewAssociativeMemory(d, 21)
+	protos := make([]hv.Vector, 3)
+	for i, l := range []string{"a", "b", "c"} {
+		protos[i] = hv.NewRandom(d, rng)
+		am.SetPrototype(l, protos[i])
+	}
+	q := protos[1].Clone()
+	q.FlipBits(400, rng)
+	r := am.Rank(q)
+	if r[0].Label != "b" || r[0].Distance != 400 {
+		t.Fatalf("rank head %+v", r[0])
+	}
+	for i := 1; i < len(r); i++ {
+		if r[i].Distance < r[i-1].Distance {
+			t.Fatal("ranking not sorted")
+		}
+	}
+}
+
+func TestAMMargin(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const d = 10000
+	am := NewAssociativeMemory(d, 23)
+	a := hv.NewRandom(d, rng)
+	b := hv.NewRandom(d, rng)
+	am.SetPrototype("a", a)
+	am.SetPrototype("b", b)
+	// Query exactly at a: margin = Hamming(a,b)/d ≈ 0.5.
+	m := am.Margin(a)
+	if m < 0.4 || m > 0.6 {
+		t.Fatalf("margin %.3f, want ≈0.5", m)
+	}
+	// Query equidistant-ish: tiny margin.
+	mid := a.Clone()
+	mid.FlipBits(d/4, rng)
+	if am.Margin(mid) >= m {
+		t.Fatal("ambiguous query should have a smaller margin")
+	}
+}
+
+func TestAMMarginNeedsTwoClasses(t *testing.T) {
+	am := NewAssociativeMemory(64, 24)
+	am.SetPrototype("only", hv.New(64))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic with one class")
+		}
+	}()
+	am.Margin(hv.New(64))
+}

@@ -1,0 +1,247 @@
+package hdc
+
+import (
+	"math/rand"
+	"testing"
+
+	"pulphd/internal/hv"
+)
+
+// synthWindow produces a window of samples where each channel hovers
+// around the pattern's per-channel level with additive noise.
+func synthWindow(pattern []float64, window int, noise float64, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, window)
+	for t := range out {
+		row := make([]float64, len(pattern))
+		for c, mu := range pattern {
+			row[c] = mu + rng.NormFloat64()*noise
+		}
+		out[t] = row
+	}
+	return out
+}
+
+var gesturePatterns = map[string][]float64{
+	"rest":   {1, 1, 1, 1},
+	"open":   {18, 4, 9, 2},
+	"closed": {4, 17, 3, 12},
+	"pinch":  {9, 9, 16, 3},
+	"point":  {2, 6, 5, 18},
+}
+
+func trainTestClassifier(t *testing.T, cfg Config, noise float64) (c *Classifier, accuracy float64) {
+	t.Helper()
+	c = MustNew(cfg)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 10; i++ {
+		for label, pat := range gesturePatterns {
+			c.Train(label, synthWindow(pat, cfg.Window, noise, rng))
+		}
+	}
+	correct, total := 0, 0
+	for i := 0; i < 40; i++ {
+		for label, pat := range gesturePatterns {
+			got, _ := c.Predict(synthWindow(pat, cfg.Window, noise, rng))
+			if got == label {
+				correct++
+			}
+			total++
+		}
+	}
+	return c, float64(correct) / float64(total)
+}
+
+func TestClassifierLearnsSeparablePatterns(t *testing.T) {
+	cfg := EMGConfig()
+	cfg.D = 2000 // keep the test fast; separability is easy here
+	_, acc := trainTestClassifier(t, cfg, 1.0)
+	if acc < 0.95 {
+		t.Fatalf("accuracy %.2f on cleanly separable gestures", acc)
+	}
+}
+
+func TestClassifierNGramWindow(t *testing.T) {
+	cfg := EMGConfig()
+	cfg.D = 2000
+	cfg.NGram = 3
+	cfg.Window = 5
+	_, acc := trainTestClassifier(t, cfg, 1.0)
+	if acc < 0.9 {
+		t.Fatalf("accuracy %.2f with N-gram=3", acc)
+	}
+}
+
+func TestClassifierGracefulDegradationWithDimension(t *testing.T) {
+	// "The HD classifier closely maintains its accuracy when its
+	// dimensionality is reduced from 10,000 to 200" (§4.1). At a fixed
+	// noise level, 200-D must stay close to 2000-D accuracy.
+	cfgHi := EMGConfig()
+	cfgHi.D = 2000
+	_, accHi := trainTestClassifier(t, cfgHi, 1.5)
+	cfgLo := EMGConfig()
+	cfgLo.D = 200
+	_, accLo := trainTestClassifier(t, cfgLo, 1.5)
+	if accHi-accLo > 0.10 {
+		t.Fatalf("accuracy dropped from %.2f to %.2f between 2000-D and 200-D", accHi, accLo)
+	}
+}
+
+func TestClassifierConfigValidation(t *testing.T) {
+	bad := []Config{
+		{D: 4, Channels: 4, Levels: 22, MaxLevel: 21, NGram: 1, Window: 5},
+		{D: 1000, Channels: 0, Levels: 22, MaxLevel: 21, NGram: 1, Window: 5},
+		{D: 1000, Channels: 4, Levels: 1, MaxLevel: 21, NGram: 1, Window: 5},
+		{D: 1000, Channels: 4, Levels: 22, MaxLevel: 0, NGram: 1, Window: 5},
+		{D: 1000, Channels: 4, Levels: 22, MaxLevel: 21, NGram: 0, Window: 5},
+		{D: 1000, Channels: 4, Levels: 22, MaxLevel: 21, NGram: 6, Window: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(EMGConfig()); err != nil {
+		t.Fatalf("EMGConfig rejected: %v", err)
+	}
+}
+
+func TestClassifierEncodeWindowTooShortPanics(t *testing.T) {
+	cfg := EMGConfig()
+	cfg.D = 500
+	cfg.NGram = 3
+	cfg.Window = 3
+	c := MustNew(cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for window shorter than N")
+		}
+	}()
+	c.EncodeWindow([][]float64{{1, 2, 3, 4}})
+}
+
+func TestClassifierEncodeWindowLongerThanConfigured(t *testing.T) {
+	cfg := EMGConfig()
+	cfg.D = 500
+	c := MustNew(cfg)
+	rng := rand.New(rand.NewSource(5))
+	w := synthWindow(gesturePatterns["open"], 50, 0.5, rng)
+	v := c.EncodeWindow(w) // must grow scratch without panicking
+	if v.Dim() != 500 {
+		t.Fatalf("dim %d", v.Dim())
+	}
+}
+
+func TestClassifierDeterministicEncoding(t *testing.T) {
+	cfg := EMGConfig()
+	cfg.D = 1000
+	c1 := MustNew(cfg)
+	c2 := MustNew(cfg)
+	rng := rand.New(rand.NewSource(6))
+	w := synthWindow(gesturePatterns["pinch"], 5, 0.5, rng)
+	if !equalVec(c1.EncodeWindow(w), c2.EncodeWindow(w)) {
+		t.Fatal("same config+seed encodes differently")
+	}
+}
+
+func equalVec(a, b interface{ Bit(int) uint32 }) bool {
+	type dimmer interface{ Dim() int }
+	da := a.(dimmer).Dim()
+	if da != b.(dimmer).Dim() {
+		return false
+	}
+	for i := 0; i < da; i++ {
+		if a.Bit(i) != b.Bit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFootprintMatchesPaper(t *testing.T) {
+	// §3: CIM 22×313 (≈27 kB), IM 4×313 (≈5 kB), AM 5×313 (≈7 kB),
+	// spatial and N-gram hypervectors 313 words (≈2 kB counting the
+	// paper's generous rounding); total ≈50 kB.
+	c := MustNew(EMGConfig())
+	fp := c.Footprint(5)
+	if fp.CIMBytes != 22*313*4 {
+		t.Errorf("CIM %d B", fp.CIMBytes)
+	}
+	if fp.IMBytes != 4*313*4 {
+		t.Errorf("IM %d B", fp.IMBytes)
+	}
+	if fp.AMBytes != 5*313*4 {
+		t.Errorf("AM %d B", fp.AMBytes)
+	}
+	total := fp.Total()
+	if total < 40_000 || total > 60_000 {
+		t.Errorf("total footprint %d B, paper says ≈50 kB", total)
+	}
+}
+
+func TestFootprintUsesLiveClassCount(t *testing.T) {
+	cfg := EMGConfig()
+	cfg.D = 320
+	c := MustNew(cfg)
+	rng := rand.New(rand.NewSource(7))
+	c.Train("a", synthWindow(gesturePatterns["rest"], 5, 0.5, rng))
+	c.Train("b", synthWindow(gesturePatterns["open"], 5, 0.5, rng))
+	fp := c.Footprint(99)
+	if fp.AMBytes != 2*10*4 {
+		t.Fatalf("AM bytes %d, want live 2-class count", fp.AMBytes)
+	}
+}
+
+func TestTruncatedClassifier(t *testing.T) {
+	cfg := EMGConfig()
+	cfg.D = 4000
+	full, _ := trainTestClassifier(t, cfg, 1.2)
+	small, err := full.Truncated(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Config().D != 400 {
+		t.Fatalf("truncated dim %d", small.Config().D)
+	}
+	// Memories are prefixes of the originals.
+	for i := 0; i < full.IM().Len(); i++ {
+		want := hv.Truncate(full.IM().Vector(i), 400)
+		if !hv.Equal(small.IM().Vector(i), want) {
+			t.Fatalf("IM row %d is not a prefix", i)
+		}
+	}
+	// The truncated model still classifies well.
+	rng := rand.New(rand.NewSource(77))
+	correct, total := 0, 0
+	for i := 0; i < 30; i++ {
+		for label, pat := range gesturePatterns {
+			got, _ := small.Predict(synthWindow(pat, 1, 1.2, rng))
+			if got == label {
+				correct++
+			}
+			total++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.8 {
+		t.Fatalf("truncated accuracy %.2f", acc)
+	}
+	// Surgery produces fixed prototypes: updating an existing class
+	// must panic (new classes may still be added).
+	defer func() {
+		if recover() == nil {
+			t.Fatal("updating a truncated prototype did not panic")
+		}
+	}()
+	small.Train("open", [][]float64{{1, 2, 3, 4}})
+}
+
+func TestTruncatedValidation(t *testing.T) {
+	cfg := EMGConfig()
+	cfg.D = 1000
+	c := MustNew(cfg)
+	if _, err := c.Truncated(2000); err == nil {
+		t.Error("upscaling accepted")
+	}
+	if _, err := c.Truncated(4); err == nil {
+		t.Error("degenerate dimension accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package hdc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pulphd/internal/hdref"
+	"pulphd/internal/hv"
+)
+
+func testEncoder(t *testing.T, d, channels int) (*ItemMemory, *ContinuousItemMemory, *SpatialEncoder) {
+	t.Helper()
+	im := NewItemMemory(d, channels, 11)
+	cim := NewContinuousItemMemory(d, 22, 0, 21, 12)
+	return im, cim, NewSpatialEncoder(im, cim)
+}
+
+func TestSpatialEncoderMatchesDefinition(t *testing.T) {
+	// S_t = [(E1⊕V1) + … + (Ei⊕Vi)] with the XOR-of-first-two
+	// tie-breaker for even channel counts (§5.1).
+	const d = 1024
+	im, cim, enc := testEncoder(t, d, 4)
+	samples := []float64{3.3, 17.8, 0.2, 21.0}
+	got := enc.Encode(samples)
+
+	bound := make([]hv.Vector, 0, 5)
+	for i := 0; i < 4; i++ {
+		bound = append(bound, hv.Xor(im.Vector(i), cim.Vector(samples[i])))
+	}
+	bound = append(bound, hv.Xor(bound[0], bound[1]))
+	want := hv.New(d)
+	hv.MajorityTo(want, bound)
+	if !hv.Equal(got, want) {
+		t.Fatal("spatial encoding disagrees with the §2.1.1 definition")
+	}
+}
+
+func TestSpatialEncoderOddChannels(t *testing.T) {
+	const d = 512
+	im, cim, enc := testEncoder(t, d, 3)
+	samples := []float64{1, 2, 3}
+	got := enc.Encode(samples)
+	bound := []hv.Vector{
+		hv.Xor(im.Vector(0), cim.Vector(1)),
+		hv.Xor(im.Vector(1), cim.Vector(2)),
+		hv.Xor(im.Vector(2), cim.Vector(3)),
+	}
+	want := hv.New(d)
+	hv.MajorityTo(want, bound)
+	if !hv.Equal(got, want) {
+		t.Fatal("odd-channel spatial encoding must not add a tie-breaker")
+	}
+}
+
+func TestSpatialEncoderSimilarInputsSimilarOutputs(t *testing.T) {
+	// Nearby signal levels map to nearby spatial hypervectors; distant
+	// levels map far apart. This continuity is what makes the CIM work.
+	_, _, enc := testEncoder(t, 10000, 4)
+	base := enc.Encode([]float64{10, 10, 10, 10}).Clone()
+	near := enc.Encode([]float64{11, 10, 10, 10}).Clone()
+	far := enc.Encode([]float64{21, 0, 21, 0}).Clone()
+	dNear := hv.Hamming(base, near)
+	dFar := hv.Hamming(base, far)
+	if dNear >= dFar {
+		t.Fatalf("near distance %d not smaller than far distance %d", dNear, dFar)
+	}
+	if dNear > 2000 {
+		t.Errorf("one-level change moved the encoding by %d (>20%%)", dNear)
+	}
+}
+
+func TestSpatialEncoderDeterministic(t *testing.T) {
+	_, _, enc := testEncoder(t, 2048, 4)
+	s := []float64{5, 6, 7, 8}
+	a := enc.Encode(s).Clone()
+	b := enc.Encode(s).Clone()
+	if !hv.Equal(a, b) {
+		t.Fatal("encoding the same samples twice differs")
+	}
+}
+
+func TestSpatialEncoderWrongSampleCountPanics(t *testing.T) {
+	_, _, enc := testEncoder(t, 256, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong channel count")
+		}
+	}()
+	enc.Encode([]float64{1, 2, 3})
+}
+
+func TestSpatialEncoderDimMismatchPanics(t *testing.T) {
+	im := NewItemMemory(128, 4, 1)
+	cim := NewContinuousItemMemory(256, 22, 0, 21, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for IM/CIM dimensionality mismatch")
+		}
+	}()
+	NewSpatialEncoder(im, cim)
+}
+
+func TestTemporalEncoderMatchesReference(t *testing.T) {
+	// Cross-check the packed N-gram encoder against the unpacked
+	// golden model for several N and dimensions with tails.
+	f := func(dRaw uint8, nRaw uint8, seed int64) bool {
+		d := int(dRaw)%500 + 33
+		n := int(nRaw)%8 + 1
+		rng := rand.New(rand.NewSource(seed))
+		seq := make([]hv.Vector, n)
+		ref := make([]hdref.Bits, n)
+		for i := 0; i < n; i++ {
+			ref[i] = hdref.Random(d, rng)
+			seq[i] = hv.FromBits(ref[i])
+		}
+		enc := NewTemporalEncoder(d, n)
+		return hv.Equal(enc.Encode(seq), hv.FromBits(hdref.NGram(ref)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTemporalEncoderN1Identity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	v := hv.NewRandom(10000, rng)
+	enc := NewTemporalEncoder(10000, 1)
+	if !hv.Equal(enc.Encode([]hv.Vector{v}), v) {
+		t.Fatal("1-gram must equal the input")
+	}
+}
+
+func TestTemporalEncoderOrderSensitive(t *testing.T) {
+	// Permutation is "good for storing a sequence" (§2.1): swapping
+	// the order must give a very different N-gram.
+	rng := rand.New(rand.NewSource(21))
+	const d = 10000
+	a, b, c := hv.NewRandom(d, rng), hv.NewRandom(d, rng), hv.NewRandom(d, rng)
+	enc := NewTemporalEncoder(d, 3)
+	fwd := enc.Encode([]hv.Vector{a, b, c}).Clone()
+	rev := enc.Encode([]hv.Vector{c, b, a}).Clone()
+	if dist := hv.Hamming(fwd, rev); dist < 4500 {
+		t.Fatalf("reordered N-gram distance %d; encoder is not order sensitive", dist)
+	}
+}
+
+func TestTemporalEncoderWrongLengthPanics(t *testing.T) {
+	enc := NewTemporalEncoder(100, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong sequence length")
+		}
+	}()
+	enc.Encode([]hv.Vector{hv.New(100)})
+}
+
+func TestTemporalEncoderBadNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for N=0")
+		}
+	}()
+	NewTemporalEncoder(100, 0)
+}

@@ -1,0 +1,69 @@
+package hdc_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pulphd/internal/hdc"
+	"pulphd/internal/hv"
+)
+
+// The complete classifier pipeline on a toy 4-channel task.
+func Example() {
+	cfg := hdc.Config{
+		D: 2000, Channels: 4, Levels: 22, MinLevel: 0, MaxLevel: 21,
+		NGram: 1, Window: 1, Seed: 7,
+	}
+	cls := hdc.MustNew(cfg)
+
+	rng := rand.New(rand.NewSource(1))
+	patterns := map[string][]float64{
+		"fist": {17, 14, 3, 5},
+		"open": {4, 6, 16, 13},
+	}
+	for i := 0; i < 8; i++ {
+		for label, p := range patterns {
+			s := make([]float64, 4)
+			for c := range s {
+				s[c] = p[c] + rng.NormFloat64()
+			}
+			cls.Train(label, [][]float64{s})
+		}
+	}
+
+	label, _ := cls.Predict([][]float64{{16, 13, 4, 6}})
+	fmt.Println(label)
+	// Output:
+	// fist
+}
+
+// The continuous item memory maps nearby analog levels to nearby
+// hypervectors and the range endpoints to orthogonal ones.
+func ExampleContinuousItemMemory() {
+	cim := hdc.NewContinuousItemMemory(10000, 22, 0, 21, 3)
+
+	mid := cim.Vector(10.0)
+	next := cim.Vector(11.0) // one level up
+	far := cim.Vector(21.0)  // range endpoint
+
+	fmt.Println("adjacent levels close:", hv.Hamming(mid, next) < 1000)
+	fmt.Println("endpoints orthogonal:", hv.Hamming(cim.Vector(0), far) == 5000)
+	// Output:
+	// adjacent levels close: true
+	// endpoints orthogonal: true
+}
+
+// The temporal encoder distinguishes sequences that contain the same
+// elements in different order.
+func ExampleTemporalEncoder() {
+	im := hdc.NewItemMemory(10000, 3, 5)
+	enc := hdc.NewTemporalEncoder(10000, 3)
+
+	a, b, c := im.Vector(0), im.Vector(1), im.Vector(2)
+	abc := enc.Encode([]hv.Vector{a, b, c})
+	cba := enc.Encode([]hv.Vector{c, b, a})
+
+	fmt.Println("order matters:", hv.Hamming(abc, cba) > 4000)
+	// Output:
+	// order matters: true
+}

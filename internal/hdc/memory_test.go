@@ -1,0 +1,143 @@
+package hdc
+
+import (
+	"testing"
+
+	"pulphd/internal/hv"
+)
+
+func TestItemMemoryOrthogonality(t *testing.T) {
+	im := NewItemMemory(10000, 4, 7)
+	for i := 0; i < im.Len(); i++ {
+		for j := i + 1; j < im.Len(); j++ {
+			nd := hv.NormalizedHamming(im.Vector(i), im.Vector(j))
+			if nd < 0.47 || nd > 0.53 {
+				t.Errorf("items %d,%d: normalized distance %.4f, want ≈0.5", i, j, nd)
+			}
+		}
+	}
+}
+
+func TestItemMemoryDeterministic(t *testing.T) {
+	a := NewItemMemory(1000, 3, 9)
+	b := NewItemMemory(1000, 3, 9)
+	for i := 0; i < 3; i++ {
+		if !hv.Equal(a.Vector(i), b.Vector(i)) {
+			t.Fatalf("item %d differs across identically seeded IMs", i)
+		}
+	}
+	c := NewItemMemory(1000, 3, 10)
+	if hv.Equal(a.Vector(0), c.Vector(0)) {
+		t.Fatal("different seeds produced identical items")
+	}
+}
+
+func TestItemMemorySize(t *testing.T) {
+	// Paper §3: IM (4×313 words) ≈ 5 kB.
+	im := NewItemMemory(10000, 4, 1)
+	if got := im.SizeBytes(); got != 4*313*4 {
+		t.Fatalf("IM size %d B, want %d B", got, 4*313*4)
+	}
+}
+
+func TestCIMEndpointsOrthogonal(t *testing.T) {
+	// Level 0 and level L-1 must be (exactly) d/2 apart: "orthogonal
+	// endpoint hypervectors are generated for the minimum and maximum
+	// signal levels" (§2.1.1).
+	cim := NewContinuousItemMemory(10000, 22, 0, 21, 3)
+	d := hv.Hamming(cim.VectorForLevel(0), cim.VectorForLevel(21))
+	if d != 5000 {
+		t.Fatalf("endpoint distance %d, want exactly 5000", d)
+	}
+}
+
+func TestCIMLinearInterpolation(t *testing.T) {
+	// Distance between levels grows linearly with level difference.
+	const d = 10000
+	const levels = 22
+	cim := NewContinuousItemMemory(d, levels, 0, 21, 4)
+	base := cim.VectorForLevel(0)
+	prev := 0
+	for l := 1; l < levels; l++ {
+		dist := hv.Hamming(base, cim.VectorForLevel(l))
+		if dist <= prev {
+			t.Fatalf("distance to level %d (%d) not increasing from %d", l, dist, prev)
+		}
+		// Expect ≈ l * (d/2)/(levels-1) within one step's slack.
+		want := (d / 2) * l / (levels - 1)
+		slack := (d/2)/(levels-1) + 1
+		if dist < want-slack || dist > want+slack {
+			t.Errorf("level %d: distance %d, want ≈%d", l, dist, want)
+		}
+		prev = dist
+	}
+}
+
+func TestCIMAdjacentLevelsSimilar(t *testing.T) {
+	cim := NewContinuousItemMemory(10000, 22, 0, 21, 5)
+	for l := 1; l < 22; l++ {
+		dist := hv.Hamming(cim.VectorForLevel(l-1), cim.VectorForLevel(l))
+		if dist > 300 {
+			t.Errorf("adjacent levels %d,%d distance %d, want ≈238", l-1, l, dist)
+		}
+	}
+}
+
+func TestCIMQuantize(t *testing.T) {
+	cim := NewContinuousItemMemory(1000, 22, 0, 21, 6)
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {0.4, 0}, {0.6, 1}, {1.0, 1},
+		{10.4, 10}, {10.6, 11}, {21, 21}, {30, 21},
+	}
+	for _, c := range cases {
+		if got := cim.Quantize(c.x); got != c.want {
+			t.Errorf("Quantize(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestCIMVectorMatchesLevel(t *testing.T) {
+	cim := NewContinuousItemMemory(1000, 22, 0, 21, 7)
+	if !hv.Equal(cim.Vector(13.2), cim.VectorForLevel(13)) {
+		t.Fatal("Vector(13.2) != VectorForLevel(13)")
+	}
+}
+
+func TestCIMSize(t *testing.T) {
+	// Paper §3: CIM (22×313 words) ≈ 27 kB.
+	cim := NewContinuousItemMemory(10000, 22, 0, 21, 8)
+	if got := cim.SizeBytes(); got != 22*313*4 {
+		t.Fatalf("CIM size %d B, want %d B", got, 22*313*4)
+	}
+}
+
+func TestCIMPanicsOnBadConfig(t *testing.T) {
+	for name, f := range map[string]func(){
+		"one level":   func() { NewContinuousItemMemory(100, 1, 0, 1, 1) },
+		"empty range": func() { NewContinuousItemMemory(100, 5, 2, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCIMDensityStaysBalanced(t *testing.T) {
+	// Flipping random positions keeps every level near half density,
+	// preserving the binary-HD distance statistics.
+	cim := NewContinuousItemMemory(10000, 22, 0, 21, 9)
+	for l := 0; l < 22; l++ {
+		dens := cim.VectorForLevel(l).Density()
+		if dens < 0.45 || dens > 0.55 {
+			t.Errorf("level %d density %.3f drifted from 0.5", l, dens)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package hdref
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file extends the golden model from single operations to the
+// complete classifier pipeline of §2.1.1, so the optimized packed
+// implementation (internal/hdc) can be validated end to end: item
+// memories, CIM level construction, spatial encoding with the even-
+// channel tie-breaker, window bundling and associative search, all in
+// the most obvious unpacked form.
+
+// RefItemMemory is the unpacked item memory.
+type RefItemMemory struct {
+	Items []Bits
+}
+
+// NewRefItemMemory mirrors hdc.NewItemMemory: n i.i.d. random vectors
+// drawn from the seed. The draw order matches the packed
+// implementation only if the same RNG consumption pattern is used;
+// equivalence tests therefore construct packed memories first and
+// convert, rather than relying on RNG lockstep.
+func NewRefItemMemory(d, n int, seed int64) *RefItemMemory {
+	rng := rand.New(rand.NewSource(seed))
+	m := &RefItemMemory{}
+	for i := 0; i < n; i++ {
+		m.Items = append(m.Items, Random(d, rng))
+	}
+	return m
+}
+
+// RefCIM is the unpacked continuous item memory.
+type RefCIM struct {
+	Min, Max float64
+	Levels   []Bits
+}
+
+// Quantize mirrors hdc.ContinuousItemMemory.Quantize: round to the
+// closest level, clamping at the range ends.
+func (c *RefCIM) Quantize(x float64) int {
+	if x <= c.Min {
+		return 0
+	}
+	if x >= c.Max {
+		return len(c.Levels) - 1
+	}
+	step := (c.Max - c.Min) / float64(len(c.Levels)-1)
+	l := int((x-c.Min)/step + 0.5)
+	if l >= len(c.Levels) {
+		l = len(c.Levels) - 1
+	}
+	return l
+}
+
+// SpatialEncode computes S = [(E1⊕V1) + … + (Ei⊕Vi)] with the
+// XOR-of-first-two tie-breaker appended for even channel counts
+// (§5.1), entirely in unpacked form.
+func SpatialEncode(im []Bits, levels []Bits) Bits {
+	if len(im) != len(levels) {
+		panic(fmt.Sprintf("hdref: SpatialEncode: %d items for %d levels", len(im), len(levels)))
+	}
+	var bound []Bits
+	for i := range im {
+		bound = append(bound, Xor(im[i], levels[i]))
+	}
+	if len(bound)%2 == 0 {
+		bound = append(bound, Xor(bound[0], bound[1]))
+	}
+	return Majority(bound)
+}
+
+// RefAM is the unpacked associative memory.
+type RefAM struct {
+	Labels     []string
+	Prototypes []Bits
+}
+
+// Classify returns the label of the minimum-Hamming-distance
+// prototype (ties to the lowest index) and that distance.
+func (am *RefAM) Classify(query Bits) (string, int) {
+	if len(am.Prototypes) == 0 {
+		panic("hdref: Classify on empty AM")
+	}
+	best, bestDist := 0, len(query)+1
+	for i, p := range am.Prototypes {
+		if d := Hamming(query, p); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return am.Labels[best], bestDist
+}
+
+// BundleWindows thresholds the componentwise sum of encoded windows
+// into a prototype, resolving even-count ties with rng (nil → 0), the
+// training rule of §2.1.1.
+func BundleWindows(encoded []Bits, rng *rand.Rand) Bits {
+	if len(encoded) == 0 {
+		panic("hdref: BundleWindows of nothing")
+	}
+	d := len(encoded[0])
+	counts := make([]int, d)
+	for _, e := range encoded {
+		mustMatch("BundleWindows", encoded[0], e)
+		for i, b := range e {
+			if b != 0 {
+				counts[i]++
+			}
+		}
+	}
+	out := New(d)
+	n := len(encoded)
+	for i, c := range counts {
+		switch {
+		case 2*c > n:
+			out[i] = 1
+		case 2*c == n && rng != nil && rng.Intn(2) == 1:
+			out[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package hdref
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRefItemMemory(t *testing.T) {
+	m := NewRefItemMemory(500, 4, 1)
+	if len(m.Items) != 4 {
+		t.Fatalf("%d items", len(m.Items))
+	}
+	// Deterministic in the seed.
+	m2 := NewRefItemMemory(500, 4, 1)
+	if Hamming(m.Items[2], m2.Items[2]) != 0 {
+		t.Fatal("same seed produced different items")
+	}
+	// Pairwise near-orthogonal.
+	if d := Hamming(m.Items[0], m.Items[1]); d < 200 || d > 300 {
+		t.Fatalf("item distance %d not near 250", d)
+	}
+}
+
+func TestRefCIMQuantize(t *testing.T) {
+	c := &RefCIM{Min: 0, Max: 10, Levels: make([]Bits, 11)}
+	cases := []struct {
+		x    float64
+		want int
+	}{{-1, 0}, {0, 0}, {0.4, 0}, {0.6, 1}, {5, 5}, {9.6, 10}, {10, 10}, {42, 10}}
+	for _, tc := range cases {
+		if got := c.Quantize(tc.x); got != tc.want {
+			t.Errorf("Quantize(%g) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestSpatialEncodeOddAndEven(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const d = 400
+	im := []Bits{Random(d, rng), Random(d, rng), Random(d, rng)}
+	lv := []Bits{Random(d, rng), Random(d, rng), Random(d, rng)}
+	odd := SpatialEncode(im, lv)
+	// Odd channel count: plain majority of the three bound vectors.
+	bound := []Bits{Xor(im[0], lv[0]), Xor(im[1], lv[1]), Xor(im[2], lv[2])}
+	want := Majority(bound)
+	if Hamming(odd, want) != 0 {
+		t.Fatal("odd-channel encoding differs from direct majority")
+	}
+	// Even channel count appends the XOR tie-breaker.
+	im4 := append(im, Random(d, rng))
+	lv4 := append(lv, Random(d, rng))
+	even := SpatialEncode(im4, lv4)
+	bound4 := []Bits{
+		Xor(im4[0], lv4[0]), Xor(im4[1], lv4[1]),
+		Xor(im4[2], lv4[2]), Xor(im4[3], lv4[3]),
+	}
+	bound4 = append(bound4, Xor(bound4[0], bound4[1]))
+	if Hamming(even, Majority(bound4)) != 0 {
+		t.Fatal("even-channel encoding misses the tie-breaker")
+	}
+}
+
+func TestSpatialEncodeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched lengths")
+		}
+	}()
+	SpatialEncode([]Bits{New(4)}, []Bits{New(4), New(4)})
+}
+
+func TestRefAMClassify(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const d = 1000
+	a, b := Random(d, rng), Random(d, rng)
+	am := &RefAM{Labels: []string{"a", "b"}, Prototypes: []Bits{a, b}}
+	q := append(Bits(nil), b...)
+	for i := 0; i < 50; i++ {
+		q[i] ^= 1
+	}
+	label, dist := am.Classify(q)
+	if label != "b" || dist != 50 {
+		t.Fatalf("Classify = (%q, %d)", label, dist)
+	}
+}
+
+func TestRefAMEmptyPanics(t *testing.T) {
+	am := &RefAM{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty AM")
+		}
+	}()
+	am.Classify(New(8))
+}
+
+func TestBundleWindows(t *testing.T) {
+	set := []Bits{{1, 1, 0}, {1, 0, 0}, {1, 0, 1}}
+	got := BundleWindows(set, nil)
+	want := Bits{1, 0, 0}
+	if Hamming(got, want) != 0 {
+		t.Fatalf("bundle %v, want %v", got, want)
+	}
+	// Even counts: nil rng resolves ties to 0; a real rng splits them.
+	tied := []Bits{{1}, {0}}
+	if BundleWindows(tied, nil)[0] != 0 {
+		t.Fatal("nil-rng tie must resolve to 0")
+	}
+	ones := 0
+	for seed := int64(0); seed < 64; seed++ {
+		if BundleWindows(tied, rand.New(rand.NewSource(seed)))[0] == 1 {
+			ones++
+		}
+	}
+	if ones < 16 || ones > 48 {
+		t.Fatalf("random tie break produced %d/64 ones", ones)
+	}
+}
+
+func TestBundleWindowsEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty bundle")
+		}
+	}()
+	BundleWindows(nil, nil)
+}

@@ -1,0 +1,113 @@
+// Package hdref is the unpacked golden-model implementation of binary
+// HD computing, playing the role of the MATLAB reference in the paper:
+// "its classification accuracy ... matches the golden MATLAB model"
+// (DAC'18, §1). Every operation works on one byte per component with
+// the most obvious possible code, so it is slow but transparently
+// correct. The optimized bit-packed implementation in internal/hv is
+// cross-validated against this package bit for bit.
+package hdref
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Bits is an unpacked binary hypervector: one byte (0 or 1) per
+// component.
+type Bits []byte
+
+// New returns the all-zero unpacked vector of dimension d.
+func New(d int) Bits { return make(Bits, d) }
+
+// Random returns an i.i.d. Bernoulli(1/2) unpacked vector.
+func Random(d int, rng *rand.Rand) Bits {
+	v := New(d)
+	for i := range v {
+		v[i] = byte(rng.Intn(2))
+	}
+	return v
+}
+
+// Xor returns the componentwise XOR of a and b.
+func Xor(a, b Bits) Bits {
+	mustMatch("Xor", a, b)
+	out := New(len(a))
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// Rotate returns a copy of v with each component moved k positions
+// upward with wrap-around: out[(i+k) mod d] = v[i].
+func Rotate(v Bits, k int) Bits {
+	d := len(v)
+	out := New(d)
+	k %= d
+	if k < 0 {
+		k += d
+	}
+	for i := range v {
+		out[(i+k)%d] = v[i]
+	}
+	return out
+}
+
+// Hamming returns the number of differing components.
+func Hamming(a, b Bits) int {
+	mustMatch("Hamming", a, b)
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Majority returns the componentwise majority over set; exact ties
+// (even set sizes) resolve to 0. Callers wanting the accelerator's
+// tie-break semantics must append the tie-break vector themselves.
+func Majority(set []Bits) Bits {
+	if len(set) == 0 {
+		panic("hdref: Majority of no vectors")
+	}
+	d := len(set[0])
+	out := New(d)
+	for i := 0; i < d; i++ {
+		c := 0
+		for _, v := range set {
+			mustMatch("Majority", set[0], v)
+			if v[i] != 0 {
+				c++
+			}
+		}
+		if 2*c > len(set) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// NGram encodes a sequence of vectors into a single N-gram vector
+// following the paper's temporal encoder: S_t ⊕ ρ¹S_{t+1} ⊕ ρ²S_{t+2}
+// ⊕ … ⊕ ρ^{n-1}S_{t+n-1} (DAC'18, §2.1.1).
+func NGram(seq []Bits) Bits {
+	if len(seq) == 0 {
+		panic("hdref: NGram of no vectors")
+	}
+	out := append(Bits(nil), seq[0]...)
+	for k := 1; k < len(seq); k++ {
+		r := Rotate(seq[k], k)
+		for i := range out {
+			out[i] ^= r[i]
+		}
+	}
+	return out
+}
+
+func mustMatch(op string, a, b Bits) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("hdref: %s: dimension mismatch %d != %d", op, len(a), len(b)))
+	}
+}

@@ -1,0 +1,90 @@
+package hdref
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestXor(t *testing.T) {
+	a := Bits{0, 1, 0, 1}
+	b := Bits{0, 0, 1, 1}
+	want := Bits{0, 1, 1, 0}
+	got := Xor(a, b)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Xor[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRotate(t *testing.T) {
+	v := Bits{1, 0, 0, 0, 0}
+	r := Rotate(v, 2)
+	if r[2] != 1 {
+		t.Fatalf("Rotate by 2 put the bit at %v", r)
+	}
+	r = Rotate(v, -1)
+	if r[4] != 1 {
+		t.Fatalf("Rotate by -1 put the bit at %v", r)
+	}
+	r = Rotate(v, 5)
+	if r[0] != 1 {
+		t.Fatalf("full rotation is not identity: %v", r)
+	}
+}
+
+func TestHamming(t *testing.T) {
+	a := Bits{0, 1, 1, 0}
+	b := Bits{1, 1, 0, 0}
+	if got := Hamming(a, b); got != 2 {
+		t.Fatalf("Hamming = %d, want 2", got)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	set := []Bits{
+		{1, 1, 0, 0},
+		{1, 0, 1, 0},
+		{1, 0, 0, 0},
+	}
+	m := Majority(set)
+	want := Bits{1, 0, 0, 0}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("Majority[%d] = %d, want %d", i, m[i], want[i])
+		}
+	}
+}
+
+func TestNGramHandComputed(t *testing.T) {
+	// d=4, n=2: out = S0 ⊕ ρ¹S1.
+	s0 := Bits{1, 0, 0, 0}
+	s1 := Bits{0, 1, 0, 0}
+	got := NGram([]Bits{s0, s1})
+	// ρ¹S1 = {0,0,1,0}; XOR with S0 = {1,0,1,0}.
+	want := Bits{1, 0, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NGram[%d] = %d, want %d (got %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestNGramSingleIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := Random(100, rng)
+	g := NGram([]Bits{v})
+	if Hamming(g, v) != 0 {
+		t.Fatal("1-gram must be the input itself")
+	}
+}
+
+func TestNGramDoesNotAliasInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := Random(50, rng), Random(50, rng)
+	keep := append(Bits(nil), a...)
+	_ = NGram([]Bits{a, b})
+	if Hamming(a, keep) != 0 {
+		t.Fatal("NGram mutated its input")
+	}
+}

@@ -1,0 +1,98 @@
+package hv
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Bundler accumulates hypervectors componentwise so that many vectors
+// can be added without losing count information, as training does when
+// it bundles "across all its trials, the corresponding N-gram
+// hypervectors ... to produce a binary prototype hypervector"
+// (DAC'18, §2.1.1). Thresholding at half the number of additions gives
+// the componentwise majority.
+//
+// The zero value is not usable; call NewBundler.
+type Bundler struct {
+	d      int
+	counts []int32
+	n      int
+}
+
+// NewBundler returns an empty accumulator for d-dimensional vectors.
+func NewBundler(d int) *Bundler {
+	if d <= 0 {
+		panic(fmt.Sprintf("hv: NewBundler: dimension must be positive, got %d", d))
+	}
+	return &Bundler{d: d, counts: make([]int32, d)}
+}
+
+// Dim returns the dimensionality of the accumulated vectors.
+func (b *Bundler) Dim() int { return b.d }
+
+// Count returns how many vectors have been added.
+func (b *Bundler) Count() int { return b.n }
+
+// Add accumulates v into the per-component counters.
+func (b *Bundler) Add(v Vector) {
+	if v.d != b.d {
+		panic(fmt.Sprintf("hv: Bundler.Add: dimension mismatch %d != %d", v.d, b.d))
+	}
+	for i := 0; i < b.d; i += WordBits {
+		w := v.words[i/WordBits]
+		end := i + WordBits
+		if end > b.d {
+			end = b.d
+		}
+		for j := i; j < end; j++ {
+			b.counts[j] += int32(w & 1)
+			w >>= 1
+		}
+	}
+	b.n++
+}
+
+// AddBits accumulates an unpacked vector (one byte per component).
+func (b *Bundler) AddBits(bits []byte) {
+	if len(bits) != b.d {
+		panic(fmt.Sprintf("hv: Bundler.AddBits: dimension mismatch %d != %d", len(bits), b.d))
+	}
+	for i, x := range bits {
+		if x != 0 {
+			b.counts[i]++
+		}
+	}
+	b.n++
+}
+
+// Reset clears the accumulator.
+func (b *Bundler) Reset() {
+	for i := range b.counts {
+		b.counts[i] = 0
+	}
+	b.n = 0
+}
+
+// Vector thresholds the accumulated counts into a binary prototype:
+// component i is 1 when it was set in strictly more than half of the
+// added vectors. When the number of added vectors is even, exact ties
+// are broken by fair coin flips from rng ("ties broken at random",
+// DAC'18 §2.1). A nil rng resolves ties to 0 deterministically.
+//
+// Vector panics if nothing has been added.
+func (b *Bundler) Vector(rng *rand.Rand) Vector {
+	if b.n == 0 {
+		panic("hv: Bundler.Vector: no vectors added")
+	}
+	out := New(b.d)
+	half2 := int32(b.n) // compare 2*count against n to avoid rounding
+	for i, c := range b.counts {
+		switch {
+		case 2*c > half2:
+			out.setBitUnchecked(i, 1)
+		case 2*c == half2 && rng != nil && rng.Intn(2) == 1:
+			out.setBitUnchecked(i, 1)
+		}
+	}
+	return out
+}

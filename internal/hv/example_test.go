@@ -1,0 +1,79 @@
+package hv_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pulphd/internal/hv"
+)
+
+// Binding two hypervectors with XOR produces a vector dissimilar to
+// both; XORing again with one factor recovers the other.
+func ExampleXor() {
+	rng := rand.New(rand.NewSource(1))
+	key := hv.NewRandom(10000, rng)
+	value := hv.NewRandom(10000, rng)
+
+	bound := hv.Xor(key, value)
+	recovered := hv.Xor(bound, key)
+
+	fmt.Println("bound ⊥ value:", hv.Hamming(bound, value) > 4000)
+	fmt.Println("recovered == value:", hv.Equal(recovered, value))
+	// Output:
+	// bound ⊥ value: true
+	// recovered == value: true
+}
+
+// The majority bundle stays similar to each of its inputs — the set
+// representation of HD computing.
+func ExampleMajority() {
+	rng := rand.New(rand.NewSource(2))
+	a := hv.NewRandom(10000, rng)
+	b := hv.NewRandom(10000, rng)
+	c := hv.NewRandom(10000, rng)
+
+	set := hv.Majority(a, b, c)
+	unrelated := hv.NewRandom(10000, rng)
+
+	fmt.Println("member close:", hv.Hamming(set, a) < 3000)
+	fmt.Println("outsider far:", hv.Hamming(set, unrelated) > 4000)
+	// Output:
+	// member close: true
+	// outsider far: true
+}
+
+// Rotation permutes components and is exactly invertible, which is
+// what lets N-gram encoding store sequences.
+func ExampleRotate() {
+	v := hv.New(8)
+	v.SetBit(0, 1)
+	v.SetBit(1, 1)
+
+	r := hv.Rotate(v, 3)
+	back := hv.Rotate(r, -3)
+
+	fmt.Println("rotated bits:", r.Bit(3), r.Bit(4))
+	fmt.Println("restored:", hv.Equal(back, v))
+	// Output:
+	// rotated bits: 1 1
+	// restored: true
+}
+
+// A Bundler accumulates many vectors and thresholds them into a
+// prototype — the training operation of the HD classifier.
+func ExampleBundler() {
+	rng := rand.New(rand.NewSource(3))
+	template := hv.NewRandom(10000, rng)
+
+	b := hv.NewBundler(10000)
+	for i := 0; i < 9; i++ {
+		noisy := template.Clone()
+		noisy.FlipBits(1500, rng) // 15% component noise
+		b.Add(noisy)
+	}
+	prototype := b.Vector(rng)
+
+	fmt.Println("denoised:", hv.Hamming(prototype, template) < 500)
+	// Output:
+	// denoised: true
+}

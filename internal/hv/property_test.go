@@ -1,0 +1,148 @@
+package hv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pulphd/internal/hdref"
+)
+
+// Property-based cross-validation of the bit-packed implementation
+// against the unpacked golden model (internal/hdref), in the role of
+// the paper's MATLAB reference.
+
+// genPair produces a deterministic pseudo-random vector of dimension d
+// in both representations.
+func genPair(d int, seed int64) (Vector, hdref.Bits) {
+	rng := rand.New(rand.NewSource(seed))
+	bits := hdref.Random(d, rng)
+	return FromBits(bits), bits
+}
+
+// propDim maps an arbitrary uint16 to an interesting dimension,
+// biased toward tail-carrying sizes.
+func propDim(x uint16) int {
+	d := int(x)%2048 + 1
+	return d
+}
+
+func TestQuickXorMatchesReference(t *testing.T) {
+	f := func(x uint16, s1, s2 int64) bool {
+		d := propDim(x)
+		a, ra := genPair(d, s1)
+		b, rb := genPair(d, s2)
+		return Equal(Xor(a, b), FromBits(hdref.Xor(ra, rb)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRotateMatchesReference(t *testing.T) {
+	f := func(x uint16, s int64, k int16) bool {
+		d := propDim(x)
+		a, ra := genPair(d, s)
+		return Equal(Rotate(a, int(k)), FromBits(hdref.Rotate(ra, int(k))))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHammingMatchesReference(t *testing.T) {
+	f := func(x uint16, s1, s2 int64) bool {
+		d := propDim(x)
+		a, ra := genPair(d, s1)
+		b, rb := genPair(d, s2)
+		return Hamming(a, b) == hdref.Hamming(ra, rb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMajorityMatchesReference(t *testing.T) {
+	f := func(x uint16, seed int64, nRaw uint8) bool {
+		d := propDim(x)
+		n := int(nRaw)%9 + 1
+		if n%2 == 0 {
+			n++ // reference has no tie-breaker; compare odd sets
+		}
+		packed := make([]Vector, n)
+		unpacked := make([]hdref.Bits, n)
+		for i := 0; i < n; i++ {
+			packed[i], unpacked[i] = genPair(d, seed+int64(i))
+		}
+		return Equal(Majority(packed...), FromBits(hdref.Majority(unpacked)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBundlerMatchesMajority(t *testing.T) {
+	// Thresholding an odd number of accumulated vectors must equal the
+	// direct componentwise majority.
+	f := func(x uint16, seed int64, nRaw uint8) bool {
+		d := propDim(x)
+		n := int(nRaw)%7*2 + 1 // odd in [1,13]
+		b := NewBundler(d)
+		set := make([]Vector, n)
+		for i := 0; i < n; i++ {
+			set[i], _ = genPair(d, seed+int64(i))
+			b.Add(set[i])
+		}
+		m := New(d)
+		MajorityTo(m, set)
+		return Equal(b.Vector(nil), m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRotateInverse(t *testing.T) {
+	f := func(x uint16, s int64, k int16) bool {
+		d := propDim(x)
+		a, _ := genPair(d, s)
+		return Equal(Rotate(Rotate(a, int(k)), -int(k)), a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickXorPreservesHamming(t *testing.T) {
+	// Binding by a common key is an isometry of Hamming space.
+	f := func(x uint16, s1, s2, s3 int64) bool {
+		d := propDim(x)
+		a, _ := genPair(d, s1)
+		b, _ := genPair(d, s2)
+		k, _ := genPair(d, s3)
+		return Hamming(Xor(a, k), Xor(b, k)) == Hamming(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBitsRoundTrip(t *testing.T) {
+	f := func(x uint16, s int64) bool {
+		d := propDim(x)
+		a, ra := genPair(d, s)
+		bits := a.Bits()
+		if len(bits) != len(ra) {
+			return false
+		}
+		for i := range bits {
+			if bits[i] != ra[i] {
+				return false
+			}
+		}
+		return Equal(FromBits(bits), a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

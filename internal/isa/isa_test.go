@@ -1,0 +1,104 @@
+package isa
+
+import "testing"
+
+func TestCyclesAccumulate(t *testing.T) {
+	m := PULPv3()
+	var c OpCounts
+	c.Add(Load, 10)
+	c.Add(ALU, 5)
+	c.AddLoop(3)
+	want := 10*m.Costs[Load] + 5*m.Costs[ALU] + 3*m.LoopOverhead
+	if got := m.Cycles(c); got != want {
+		t.Fatalf("Cycles = %d, want %d", got, want)
+	}
+}
+
+func TestScale(t *testing.T) {
+	var c OpCounts
+	c.Add(Store, 2)
+	c.AddLoop(1)
+	s := c.Scale(5)
+	if s.N[Store] != 10 || s.LoopIters != 5 {
+		t.Fatalf("Scale produced %+v", s)
+	}
+	// Original untouched.
+	if c.N[Store] != 2 {
+		t.Fatal("Scale mutated receiver")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b OpCounts
+	a.Add(Load, 1)
+	b.Add(Load, 2)
+	b.Add(Mul, 3)
+	b.AddLoop(4)
+	a.Merge(b)
+	if a.N[Load] != 3 || a.N[Mul] != 3 || a.LoopIters != 4 {
+		t.Fatalf("Merge produced %+v", a)
+	}
+}
+
+func TestTotal(t *testing.T) {
+	var c OpCounts
+	c.Add(Load, 2)
+	c.Add(MAC, 3)
+	c.AddLoop(100) // not part of Total
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Load.String() != "load" || Popcount32.String() != "pcnt.32" {
+		t.Fatal("op names wrong")
+	}
+	if Op(99).String() == "" {
+		t.Fatal("unknown op must render")
+	}
+}
+
+func TestModelOrdering(t *testing.T) {
+	// The Wolf built-ins must make bit ops single cycle; the plain
+	// ISAs must not.
+	bi := WolfBuiltin()
+	if !bi.HasBitManip {
+		t.Fatal("WolfBuiltin must report bit-manip support")
+	}
+	if bi.Costs[BitExtract] != 1 || bi.Costs[BitInsert] != 1 || bi.Costs[Popcount32] != 1 {
+		t.Fatal("built-ins must be single cycle")
+	}
+	for _, m := range []CostModel{PULPv3(), WolfPlain(), CortexM4()} {
+		if m.HasBitManip {
+			t.Errorf("%s must not report bit-manip support", m.Name)
+		}
+		if m.Costs[BitExtract] <= 1 || m.Costs[Popcount32] <= 1 {
+			t.Errorf("%s: bit ops suspiciously cheap", m.Name)
+		}
+	}
+	// Hardware-loop advantage.
+	if bi.LoopOverhead >= WolfPlain().LoopOverhead {
+		t.Fatal("built-in config must have cheaper loops")
+	}
+}
+
+func TestIdenticalWorkRanking(t *testing.T) {
+	// For the bit-serial majority mix, the per-cycle ranking must be
+	// built-in < plain Wolf ≤ M4 ≤ PULPv3 — the ordering behind
+	// Table 3.
+	var c OpCounts
+	c.Add(BitExtract, 5)
+	c.Add(BitInsert, 6)
+	c.Add(PopcountSmall, 1)
+	c.Add(Compare, 1)
+	c.Add(ALU, 1)
+	c.AddLoop(1)
+	bi := WolfBuiltin().Cycles(c)
+	wolf := WolfPlain().Cycles(c)
+	m4 := CortexM4().Cycles(c)
+	pulp := PULPv3().Cycles(c)
+	if !(bi < wolf && wolf <= pulp && m4 <= pulp) {
+		t.Fatalf("per-bit cost ranking broken: bi=%d wolf=%d m4=%d pulpv3=%d", bi, wolf, m4, pulp)
+	}
+}

@@ -1,0 +1,297 @@
+// Package kernels implements the accelerated HD processing chain of
+// Fig. 1 as it executes on a PULP cluster: the MAP+spatial-encoder
+// kernel, the temporal-encoder kernel and the associative-memory
+// kernel, each producing both the functional result and the
+// primitive-op accounting the platform model (internal/pulp) converts
+// to cycles. The SVM fixed-point inference kernel used in the Cortex
+// M4 comparison (Table 1) lives in svm.go.
+//
+// Op counts of the HD kernels are data independent (the bit-serial
+// majority of Fig. 2 executes the same instructions for every input),
+// so the package computes results through the fast word-parallel
+// library while deriving counts analytically; bitserial.go holds a
+// faithful bit-by-bit executor against which both the functional
+// output and the analytic counts are verified in tests.
+package kernels
+
+import (
+	"fmt"
+
+	"pulphd/internal/hdc"
+	"pulphd/internal/hv"
+	"pulphd/internal/isa"
+	"pulphd/internal/pulp"
+)
+
+// Kernel names as Table 3 reports them.
+const (
+	KernelMapEncode = "MAP+ENCODERS"
+	KernelAM        = "AM"
+)
+
+// Accelerator executes the HD classification chain of a trained
+// classifier with cycle accounting.
+type Accelerator struct {
+	im       *hdc.ItemMemory
+	cim      *hdc.ContinuousItemMemory
+	am       *hdc.AssociativeMemory
+	d        int
+	channels int
+	ngram    int
+	words    int
+
+	// scratch
+	bound   []hv.Vector
+	spatial []hv.Vector
+	rot     hv.Vector
+	query   hv.Vector
+}
+
+// NewAccelerator wraps a (typically trained) classifier. The chain
+// dimensions come from the classifier configuration.
+func NewAccelerator(c *hdc.Classifier) *Accelerator {
+	cfg := c.Config()
+	nb := cfg.Channels
+	if nb%2 == 0 {
+		nb++
+	}
+	a := &Accelerator{
+		im:       c.IM(),
+		cim:      c.CIM(),
+		am:       c.AM(),
+		d:        cfg.D,
+		channels: cfg.Channels,
+		ngram:    cfg.NGram,
+		words:    hv.WordsFor(cfg.D),
+		rot:      hv.New(cfg.D),
+		query:    hv.New(cfg.D),
+	}
+	a.bound = make([]hv.Vector, nb)
+	for i := range a.bound {
+		a.bound[i] = hv.New(cfg.D)
+	}
+	a.spatial = make([]hv.Vector, cfg.NGram)
+	for i := range a.spatial {
+		a.spatial[i] = hv.New(cfg.D)
+	}
+	return a
+}
+
+// numBound returns the majority fan-in: the bound hypervector per
+// channel plus the tie-breaker when the channel count is even (§5.1).
+func (a *Accelerator) numBound() int {
+	if a.channels%2 == 0 {
+		return a.channels + 1
+	}
+	return a.channels
+}
+
+// ChainWork is the platform-independent work description of one
+// classification: the two kernels of Table 3.
+type ChainWork struct {
+	MapEncode pulp.KernelWork
+	AM        pulp.KernelWork
+}
+
+// Kernels returns the chain's kernels in execution order.
+func (w ChainWork) Kernels() []pulp.KernelWork {
+	return []pulp.KernelWork{w.MapEncode, w.AM}
+}
+
+// Classify runs one classification over a window of exactly NGram
+// time-aligned sample sets (window[t][channel]) and returns the
+// predicted label together with the work description.
+func (a *Accelerator) Classify(window [][]float64) (string, ChainWork) {
+	query, work := a.encode(window)
+	label, amWork := a.search(query)
+	return label, ChainWork{MapEncode: work, AM: amWork}
+}
+
+// encode runs MAP (CIM/IM lookup), spatial encoding and temporal
+// encoding, producing the query hypervector and the kernel work.
+func (a *Accelerator) encode(window [][]float64) (hv.Vector, pulp.KernelWork) {
+	if len(window) != a.ngram {
+		panic(fmt.Sprintf("kernels: Classify: window of %d sample sets, want N=%d", len(window), a.ngram))
+	}
+	for t, samples := range window {
+		if len(samples) != a.channels {
+			panic(fmt.Sprintf("kernels: Classify: sample set %d has %d channels, want %d", t, len(samples), a.channels))
+		}
+		a.encodeSpatial(a.spatial[t], samples)
+	}
+	// Temporal encoder: G = S_0 ⊕ ρ¹S_1 ⊕ … ⊕ ρ^(n-1)S_(n-1).
+	copy(a.query.Words(), a.spatial[0].Words())
+	for k := 1; k < a.ngram; k++ {
+		hv.RotateTo(a.rot, a.spatial[k], k)
+		hv.XorTo(a.query, a.query, a.rot)
+	}
+	return a.query, a.mapEncodeWork()
+}
+
+// encodeSpatial computes one spatial hypervector functionally
+// (word-parallel); the analytic counts model the Fig. 2 bit-serial
+// code whose equivalence bitserial.go establishes.
+func (a *Accelerator) encodeSpatial(dst hv.Vector, samples []float64) {
+	for c := 0; c < a.channels; c++ {
+		hv.XorTo(a.bound[c], a.im.Vector(c), a.cim.Vector(samples[c]))
+	}
+	set := a.bound[:a.channels]
+	if a.channels%2 == 0 {
+		hv.XorTo(a.bound[a.channels], a.bound[0], a.bound[1])
+		set = a.bound[:a.channels+1]
+	}
+	hv.MajorityTo(dst, set)
+}
+
+// mapEncodeWork derives the MAP+ENCODERS op counts for one
+// classification. See bitserial.go for the instruction-level shape
+// being counted.
+func (a *Accelerator) mapEncodeWork() pulp.KernelWork {
+	W := int64(a.words)
+	D := int64(a.d)
+	C := int64(a.channels)
+	N := int64(a.ngram)
+	nb := int64(a.numBound())
+
+	var par isa.OpCounts
+	// Binding: per timestamp, per word, per channel: CIM word load +
+	// IM word load + XOR + store of the bound word (+ row addressing).
+	par.Add(isa.Load, N*W*C*2)
+	par.Add(isa.ALU, N*W*C)
+	par.Add(isa.Store, N*W*C)
+	par.Add(isa.Addr, N*W*C)
+	par.AddLoop(N * W * C)
+	if C%2 == 0 {
+		// Tie-breaker vector: XOR of the first two bound vectors.
+		par.Add(isa.Load, N*W*2)
+		par.Add(isa.ALU, N*W)
+		par.Add(isa.Store, N*W)
+		par.AddLoop(N * W)
+	}
+	// Componentwise majority, bit-serial as in Fig. 2: per word the nb
+	// bound words are loaded; per bit, one extract and one insert per
+	// bound vector builds the vote word, a small popcount and compare
+	// decide the majority, and the result bit is inserted; the vote
+	// word is cleared between bits.
+	par.Add(isa.Load, N*W*nb)
+	par.Add(isa.BitExtract, N*D*nb)
+	par.Add(isa.BitInsert, N*D*nb)
+	par.Add(isa.PopcountSmall, N*D)
+	par.Add(isa.Compare, N*D)
+	par.Add(isa.BitInsert, N*D)
+	par.Add(isa.ALU, N*D) // vote-word clear
+	par.Add(isa.Store, N*W)
+	par.AddLoop(N*D + N*W)
+	// Temporal encoder: per extra timestamp, per word: funnel shift of
+	// two adjacent source words (2 loads + 3 ALU) plus the XOR into
+	// the accumulator and its store.
+	if N > 1 {
+		par.Add(isa.Load, (N-1)*W*2)
+		par.Add(isa.ALU, (N-1)*W*4)
+		par.Add(isa.Store, (N-1)*W)
+		par.AddLoop((N - 1) * W)
+	}
+
+	var ser isa.OpCounts
+	// Quantization of the analog samples (§3: "a simple quantization
+	// step in which every sample is rounded to the closest integer
+	// level") and CIM row addressing, once per channel per timestamp.
+	ser.Add(isa.ALU, N*C*2)
+	ser.Add(isa.Mul, N*C)
+	ser.Add(isa.Compare, N*C*2)
+	ser.Add(isa.Addr, N*C)
+
+	regions := 2 * int(N) // bind + majority per timestamp
+	if N > 1 {
+		regions++ // temporal-encoder region
+	}
+	// DMA: CIM rows are level-dependent and fetched per timestamp; the
+	// IM rows are streamed once per classification (§3 keeps both in
+	// L2 under double buffering).
+	dma := (N*C + C) * W * 4
+
+	return pulp.KernelWork{
+		Name:     KernelMapEncode,
+		Items:    W,
+		Parallel: par,
+		Serial:   ser,
+		Regions:  regions,
+		DMABytes: dma,
+	}
+}
+
+// search runs the AM kernel: Hamming distance of the query to every
+// prototype, returning the minimum-distance label.
+func (a *Accelerator) search(query hv.Vector) (string, pulp.KernelWork) {
+	label, _ := a.am.Classify(query)
+	return label, a.amWork()
+}
+
+// amWork derives the AM-kernel op counts for one classification.
+func (a *Accelerator) amWork() pulp.KernelWork {
+	W := int64(a.words)
+	K := int64(a.am.Classes())
+
+	var par isa.OpCounts
+	// Per class, per word: query load + prototype load + XOR +
+	// popcount + distance accumulate.
+	par.Add(isa.Load, K*W*2)
+	par.Add(isa.ALU, K*W)
+	par.Add(isa.Popcount32, K*W)
+	par.Add(isa.ALU, K*W)
+	par.Add(isa.Addr, K*W)
+	par.AddLoop(K * W)
+	par.Add(isa.Store, K) // distance write-back per class
+
+	var ser isa.OpCounts
+	// Per-core partial-distance merge and the min search over classes.
+	ser.Add(isa.ALU, K*2)
+	ser.Add(isa.Compare, K)
+
+	return pulp.KernelWork{
+		Name:     KernelAM,
+		Items:    W,
+		Parallel: par,
+		Serial:   ser,
+		Regions:  1,
+		DMABytes: K * W * 4,
+	}
+}
+
+// SyntheticChain builds an accelerator for pure cycle studies (the
+// scalability sweeps of §5.2) without training data: item memories are
+// generated for the requested geometry and the AM holds `classes`
+// random prototypes.
+func SyntheticChain(d, channels, ngram, classes int, seed int64) *Accelerator {
+	cfg := hdc.Config{
+		D:        d,
+		Channels: channels,
+		Levels:   22,
+		MinLevel: 0,
+		MaxLevel: 21,
+		NGram:    ngram,
+		Window:   ngram,
+		Seed:     seed,
+	}
+	c := hdc.MustNew(cfg)
+	rng := newRand(seed)
+	for k := 0; k < classes; k++ {
+		c.AM().SetPrototype(fmt.Sprintf("class-%d", k), hv.NewRandom(d, rng))
+	}
+	return NewAccelerator(c)
+}
+
+// SyntheticWindow produces a deterministic window of NGram sample sets
+// for a synthetic chain.
+func (a *Accelerator) SyntheticWindow(seed int64) [][]float64 {
+	rng := newRand(seed)
+	w := make([][]float64, a.ngram)
+	for t := range w {
+		row := make([]float64, a.channels)
+		for c := range row {
+			row[c] = rng.Float64() * 21
+		}
+		w[t] = row
+	}
+	return w
+}

@@ -1,0 +1,121 @@
+package kernels
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"pulphd/internal/hv"
+	"pulphd/internal/isa"
+)
+
+// newRand centralizes deterministic RNG construction.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// bitSerialMajority executes the componentwise majority exactly the
+// way the accelerated C code of Fig. 2 does — bit by bit with
+// extract/insert/popcount — while tallying every primitive op. It is
+// the executable specification against which the fast path of
+// Accelerator and the analytic counts of mapEncodeWork are verified.
+func bitSerialMajority(dst hv.Vector, bound []hv.Vector, counts *isa.OpCounts) {
+	d := dst.Dim()
+	words := dst.NumWords()
+	nb := len(bound)
+	half := uint32(nb / 2)
+	for j := 0; j < words; j++ {
+		// Load the j-th word of every bound hypervector into
+		// "registers".
+		regs := make([]uint32, nb)
+		for i, b := range bound {
+			regs[i] = b.Word(j)
+		}
+		counts.Add(isa.Load, int64(nb))
+		var out uint32
+		hi := d - j*hv.WordBits
+		if hi > hv.WordBits {
+			hi = hv.WordBits
+		}
+		for b := 0; b < hi; b++ {
+			var vote uint32
+			counts.Add(isa.ALU, 1) // clear the vote word
+			for i := 0; i < nb; i++ {
+				bit := (regs[i] >> uint(b)) & 1
+				counts.Add(isa.BitExtract, 1)
+				vote |= bit << uint(i)
+				counts.Add(isa.BitInsert, 1)
+			}
+			ones := uint32(bits.OnesCount32(vote))
+			counts.Add(isa.PopcountSmall, 1)
+			counts.Add(isa.Compare, 1)
+			if ones > half {
+				out |= 1 << uint(b)
+			}
+			counts.Add(isa.BitInsert, 1)
+			counts.AddLoop(1)
+		}
+		dst.Words()[j] = out
+		counts.Add(isa.Store, 1)
+		counts.AddLoop(1)
+	}
+}
+
+// bitSerialBind executes the channel-binding XOR word by word with
+// tallies, producing bound[c] = im[c] ⊕ cimRow[c] and, for even
+// channel counts, the tie-break vector bound[C] = bound[0] ⊕ bound[1].
+func bitSerialBind(bound []hv.Vector, im, cim []hv.Vector, counts *isa.OpCounts) {
+	channels := len(im)
+	words := bound[0].NumWords()
+	for c := 0; c < channels; c++ {
+		for j := 0; j < words; j++ {
+			bound[c].Words()[j] = im[c].Word(j) ^ cim[c].Word(j)
+			counts.Add(isa.Load, 2)
+			counts.Add(isa.ALU, 1)
+			counts.Add(isa.Store, 1)
+			counts.Add(isa.Addr, 1)
+			counts.AddLoop(1)
+		}
+	}
+	if channels%2 == 0 {
+		for j := 0; j < words; j++ {
+			bound[channels].Words()[j] = bound[0].Word(j) ^ bound[1].Word(j)
+			counts.Add(isa.Load, 2)
+			counts.Add(isa.ALU, 1)
+			counts.Add(isa.Store, 1)
+			counts.AddLoop(1)
+		}
+	}
+}
+
+// bitSerialSpatialEncode is the full Fig. 2 spatial encoder (bind +
+// bit-serial majority) with tallies; dst must be distinct from the
+// scratch vectors in bound.
+func bitSerialSpatialEncode(dst hv.Vector, bound []hv.Vector, im []hv.Vector, cim []hv.Vector, counts *isa.OpCounts) {
+	bitSerialBind(bound, im, cim, counts)
+	nb := len(im)
+	if nb%2 == 0 {
+		nb++
+	}
+	bitSerialMajority(dst, bound[:nb], counts)
+}
+
+// bitSerialAM executes the AM kernel word by word with tallies and
+// returns the distances to every prototype.
+func bitSerialAM(query hv.Vector, protos []hv.Vector, counts *isa.OpCounts) []int {
+	words := query.NumWords()
+	out := make([]int, len(protos))
+	for k, p := range protos {
+		dist := 0
+		for j := 0; j < words; j++ {
+			x := query.Word(j) ^ p.Word(j)
+			counts.Add(isa.Load, 2)
+			counts.Add(isa.ALU, 1)
+			dist += bits.OnesCount32(x)
+			counts.Add(isa.Popcount32, 1)
+			counts.Add(isa.ALU, 1)
+			counts.Add(isa.Addr, 1)
+			counts.AddLoop(1)
+		}
+		out[k] = dist
+		counts.Add(isa.Store, 1)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package kernels
+
+import (
+	"testing"
+
+	"pulphd/internal/pulp"
+)
+
+// TestTable3Calibration locks the timing model to the silicon
+// measurements of Table 3 (10,000-D, N=1, 4 channels, 5 classes):
+// absolute per-kernel cycle counts within ±20% and — the actual
+// reproduction targets — the cross-configuration speed-up ratios
+// within ±15%.
+func TestTable3Calibration(t *testing.T) {
+	a := SyntheticChain(10000, 4, 1, 5, 1)
+	_, work := a.Classify(a.SyntheticWindow(2))
+
+	type target struct {
+		name    string
+		plat    pulp.Platform
+		mapEncK float64 // paper kcycles
+		amK     float64
+	}
+	targets := []target{
+		{"pulpv3-1c", pulp.PULPv3Platform(1), 492, 41},
+		{"pulpv3-4c", pulp.PULPv3Platform(4), 129, 14},
+		{"wolf-1c", pulp.WolfPlatform(1, false), 401, 33},
+		{"wolf-1c-builtin", pulp.WolfPlatform(1, true), 176, 12},
+		{"wolf-8c-builtin", pulp.WolfPlatform(8, true), 25, 4},
+	}
+	totals := map[string]float64{}
+	for _, tg := range targets {
+		rs, total := tg.plat.RunChain(work.Kernels())
+		me := float64(rs[0].Total()) / 1e3
+		am := float64(rs[1].Total()) / 1e3
+		totals[tg.name] = float64(total)
+		within(t, tg.name+" MAP+ENCODERS", me, tg.mapEncK, 0.20)
+		within(t, tg.name+" AM", am, tg.amK, 0.35)
+		within(t, tg.name+" total", me+am, tg.mapEncK+tg.amK, 0.20)
+	}
+
+	// Speed-up ratios of Table 3 (sp wrt PULPv3 1 core).
+	base := totals["pulpv3-1c"]
+	within(t, "speed-up pulpv3-4c", base/totals["pulpv3-4c"], 3.73, 0.15)
+	within(t, "speed-up wolf-1c", base/totals["wolf-1c"], 1.23, 0.15)
+	within(t, "speed-up wolf-1c-builtin", base/totals["wolf-1c-builtin"], 2.84, 0.15)
+	within(t, "speed-up wolf-8c-builtin", base/totals["wolf-8c-builtin"], 18.38, 0.15)
+}
+
+// TestTable2M4Calibration checks the M4 end-to-end count behind
+// Table 2 (439 kcycles at 10,000-D for a 10 ms latency).
+func TestTable2M4Calibration(t *testing.T) {
+	a := SyntheticChain(10000, 4, 1, 5, 1)
+	_, work := a.Classify(a.SyntheticWindow(2))
+	_, total := pulp.CortexM4Platform().RunChain(work.Kernels())
+	within(t, "m4 total", float64(total)/1e3, 439, 0.20)
+}
+
+// TestLoadSplitCalibration checks the kernel load split of Table 3:
+// 92.3%/7.7% on single-core PULPv3, narrowing to 86.2%/13.8% on the
+// 8-core Wolf with built-ins as the AM speed-up saturates.
+func TestLoadSplitCalibration(t *testing.T) {
+	a := SyntheticChain(10000, 4, 1, 5, 1)
+	_, work := a.Classify(a.SyntheticWindow(2))
+
+	rs, total := pulp.PULPv3Platform(1).RunChain(work.Kernels())
+	ld := 100 * float64(rs[0].Total()) / float64(total)
+	within(t, "pulpv3-1c MAP+ENCODERS load%", ld, 92.3, 0.05)
+
+	rs, total = pulp.WolfPlatform(8, true).RunChain(work.Kernels())
+	ld = 100 * float64(rs[0].Total()) / float64(total)
+	within(t, "wolf-8c MAP+ENCODERS load%", ld, 86.2, 0.08)
+	if ld >= 92.3 {
+		t.Errorf("AM share must grow on the parallel target (load%% %.1f)", ld)
+	}
+}
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	lo, hi := want*(1-tol), want*(1+tol)
+	if got < lo || got > hi {
+		t.Errorf("%s = %.2f, want %.2f ±%.0f%%", name, got, want, tol*100)
+	}
+}

@@ -1,0 +1,25 @@
+package kernels_test
+
+import (
+	"fmt"
+
+	"pulphd/internal/kernels"
+	"pulphd/internal/pulp"
+)
+
+// One cycle-accounted classification of the paper's EMG workload on
+// two platforms, reproducing the Table-3 speed-up.
+func Example() {
+	chain := kernels.SyntheticChain(10000, 4, 1, 5, 1)
+	_, work := chain.Classify(chain.SyntheticWindow(2))
+
+	_, serial := pulp.PULPv3Platform(1).RunChain(work.Kernels())
+	_, accel := pulp.WolfPlatform(8, true).RunChain(work.Kernels())
+
+	fmt.Printf("PULPv3 1-core: %dk cycles\n", serial/1000)
+	fmt.Printf("Wolf 8-core built-in: %dk cycles (%.0f× faster)\n",
+		accel/1000, float64(serial)/float64(accel))
+	// Output:
+	// PULPv3 1-core: 521k cycles
+	// Wolf 8-core built-in: 27k cycles (19× faster)
+}

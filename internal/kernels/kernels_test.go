@@ -1,0 +1,249 @@
+package kernels
+
+import (
+	"testing"
+
+	"pulphd/internal/hdc"
+	"pulphd/internal/hv"
+	"pulphd/internal/isa"
+	"pulphd/internal/pulp"
+)
+
+// buildMemories creates IM/CIM row sets for the bit-serial executor.
+func buildMemories(d, channels int) (im, cimRows []hv.Vector, imm *hdc.ItemMemory, cim *hdc.ContinuousItemMemory) {
+	imm = hdc.NewItemMemory(d, channels, 5)
+	cim = hdc.NewContinuousItemMemory(d, 22, 0, 21, 6)
+	im = make([]hv.Vector, channels)
+	cimRows = make([]hv.Vector, channels)
+	for c := 0; c < channels; c++ {
+		im[c] = imm.Vector(c)
+		cimRows[c] = cim.Vector(float64(c * 5))
+	}
+	return im, cimRows, imm, cim
+}
+
+func TestBitSerialSpatialMatchesLibrary(t *testing.T) {
+	// The Fig. 2 bit-serial code and the word-parallel library must
+	// produce identical spatial hypervectors — the "no lossy
+	// optimization" guarantee of §1.
+	for _, tc := range []struct{ d, channels int }{
+		{313, 4}, {10000, 4}, {1000, 3}, {512, 8}, {100, 1}, {33, 2},
+	} {
+		im, cimRows, imm, cim := buildMemories(tc.d, tc.channels)
+		nb := tc.channels
+		if nb%2 == 0 {
+			nb++
+		}
+		bound := make([]hv.Vector, nb)
+		for i := range bound {
+			bound[i] = hv.New(tc.d)
+		}
+		got := hv.New(tc.d)
+		var counts isa.OpCounts
+		bitSerialSpatialEncode(got, bound, im, cimRows, &counts)
+
+		enc := hdc.NewSpatialEncoder(imm, cim)
+		samples := make([]float64, tc.channels)
+		for c := range samples {
+			samples[c] = float64(c * 5)
+		}
+		want := enc.Encode(samples)
+		if !hv.Equal(got, want) {
+			t.Errorf("d=%d C=%d: bit-serial encoder disagrees with library", tc.d, tc.channels)
+		}
+	}
+}
+
+func TestAnalyticCountsMatchBitSerial(t *testing.T) {
+	// mapEncodeWork's closed-form op counts must equal what the
+	// bit-serial executor actually tallies (N=1 covers bind+majority).
+	for _, tc := range []struct{ d, channels int }{
+		{313, 4}, {10000, 4}, {1000, 3}, {512, 8}, {96, 5},
+	} {
+		cls := hdc.MustNew(hdc.Config{
+			D: tc.d, Channels: tc.channels, Levels: 22, MinLevel: 0,
+			MaxLevel: 21, NGram: 1, Window: 1, Seed: 9,
+		})
+		a := NewAccelerator(cls)
+		work := a.mapEncodeWork()
+
+		im := make([]hv.Vector, tc.channels)
+		cimRows := make([]hv.Vector, tc.channels)
+		for c := 0; c < tc.channels; c++ {
+			im[c] = cls.IM().Vector(c)
+			cimRows[c] = cls.CIM().Vector(float64(c))
+		}
+		nb := a.numBound()
+		bound := make([]hv.Vector, nb)
+		for i := range bound {
+			bound[i] = hv.New(tc.d)
+		}
+		dst := hv.New(tc.d)
+		var tallied isa.OpCounts
+		bitSerialSpatialEncode(dst, bound, im, cimRows, &tallied)
+
+		if tallied != work.Parallel {
+			t.Errorf("d=%d C=%d: analytic parallel counts %+v != tallied %+v",
+				tc.d, tc.channels, work.Parallel, tallied)
+		}
+	}
+}
+
+func TestBitSerialAMMatchesLibrary(t *testing.T) {
+	const d = 10000
+	rng := newRand(11)
+	query := hv.NewRandom(d, rng)
+	am := hdc.NewAssociativeMemory(d, 12)
+	protos := make([]hv.Vector, 5)
+	for k := range protos {
+		protos[k] = hv.NewRandom(d, rng)
+		am.SetPrototype(string(rune('a'+k)), protos[k])
+	}
+	var counts isa.OpCounts
+	got := bitSerialAM(query, protos, &counts)
+	want := am.Distances(query)
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("class %d: bit-serial distance %d != library %d", k, got[k], want[k])
+		}
+	}
+}
+
+func TestAnalyticAMCountsMatchBitSerial(t *testing.T) {
+	const d, classes = 10000, 5
+	a := SyntheticChain(d, 4, 1, classes, 13)
+	work := a.amWork()
+	rng := newRand(14)
+	query := hv.NewRandom(d, rng)
+	protos := make([]hv.Vector, classes)
+	for k := range protos {
+		protos[k] = a.am.Prototype(k)
+	}
+	var tallied isa.OpCounts
+	bitSerialAM(query, protos, &tallied)
+	if tallied != work.Parallel {
+		t.Fatalf("analytic AM counts %+v != tallied %+v", work.Parallel, tallied)
+	}
+}
+
+func TestClassifyMatchesClassifier(t *testing.T) {
+	// The accelerator and the host library must agree on every
+	// prediction (accelerator "preserves the semantic of HD
+	// computing", §1).
+	cfg := hdc.EMGConfig()
+	cfg.D = 2000
+	cls := hdc.MustNew(cfg)
+	rng := newRand(15)
+	patterns := [][]float64{
+		{1, 1, 1, 1}, {16, 3, 8, 2}, {3, 14, 2, 10}, {9, 9, 15, 3}, {2, 5, 4, 16},
+	}
+	labels := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < 8; i++ {
+		for k, p := range patterns {
+			w := [][]float64{make([]float64, 4)}
+			for c := range p {
+				w[0][c] = p[c] + rng.NormFloat64()
+			}
+			cls.Train(labels[k], w)
+		}
+	}
+	a := NewAccelerator(cls)
+	for i := 0; i < 30; i++ {
+		k := i % len(patterns)
+		w := [][]float64{make([]float64, 4)}
+		for c := range patterns[k] {
+			w[0][c] = patterns[k][c] + rng.NormFloat64()
+		}
+		wantLabel, _ := cls.Predict(w)
+		gotLabel, _ := a.Classify(w)
+		if gotLabel != wantLabel {
+			t.Fatalf("window %d: accelerator %q != library %q", i, gotLabel, wantLabel)
+		}
+	}
+}
+
+func TestClassifyPanicsOnBadWindow(t *testing.T) {
+	a := SyntheticChain(320, 4, 2, 3, 16)
+	for name, w := range map[string][][]float64{
+		"wrong length":   {{1, 2, 3, 4}},
+		"wrong channels": {{1, 2, 3}, {1, 2, 3}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			a.Classify(w)
+		}()
+	}
+}
+
+func TestWorkScalesLinearlyWithDimension(t *testing.T) {
+	// Fig. 3: cycles grow linearly with D for every N-gram size.
+	// Growth is affine: a fixed runtime/DMA intercept plus a slope
+	// proportional to D. Check the slope is constant across segments.
+	plat := pulp.WolfPlatform(8, true)
+	for _, n := range []int{1, 5, 10} {
+		c2 := chainCycles(t, plat, 2000, 4, n)
+		c4 := chainCycles(t, plat, 4000, 4, n)
+		c8 := chainCycles(t, plat, 8000, 4, n)
+		slopeA := float64(c4-c2) / 2000
+		slopeB := float64(c8-c4) / 4000
+		if r := slopeB / slopeA; r < 0.95 || r > 1.05 {
+			t.Errorf("N=%d: slope not constant: %.3f vs %.3f cycles/dim", n, slopeA, slopeB)
+		}
+	}
+}
+
+func TestWorkScalesLinearlyWithChannels(t *testing.T) {
+	// Fig. 5: cycles grow linearly with the channel count.
+	plat := pulp.WolfPlatform(8, true)
+	base := chainCycles(t, plat, 10000, 4, 1)
+	c64 := chainCycles(t, plat, 10000, 64, 1)
+	c256 := chainCycles(t, plat, 10000, 256, 1)
+	// The AM kernel does not scale with channels, so expect slightly
+	// sublinear growth in the total; the MAP+ENCODERS part dominates.
+	if c256 <= c64 || c64 <= base {
+		t.Fatal("cycles not increasing with channels")
+	}
+	r := float64(c256) / float64(c64)
+	if r < 3.2 || r > 4.2 {
+		t.Errorf("256ch/64ch cycle ratio %.2f, want ≈4 (linear)", r)
+	}
+}
+
+func chainCycles(t *testing.T, plat pulp.Platform, d, channels, ngram int) int64 {
+	t.Helper()
+	a := SyntheticChain(d, channels, ngram, 5, 17)
+	_, work := a.Classify(a.SyntheticWindow(18))
+	_, total := plat.RunChain(work.Kernels())
+	return total
+}
+
+func TestSVMInferenceWork(t *testing.T) {
+	// Build a small trained model and check the work scales with the
+	// kernel-evaluation count.
+	features := [][]float64{
+		{1, 1, 1, 1}, {1.2, 1, 0.9, 1.1}, {0.8, 1.1, 1, 0.9},
+		{15, 3, 8, 2}, {14, 3.5, 8.2, 2.2}, {15.5, 2.8, 7.7, 1.8},
+	}
+	labels := []string{"a", "a", "a", "b", "b", "b"}
+	m, err := trainSVM(features, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := m.Quantize(21)
+	work := SVMInference(fm)
+	if work.Serial.Total() == 0 {
+		t.Fatal("SVM inference counted no work")
+	}
+	plat := pulp.CortexM4Platform()
+	res := plat.Run(work)
+	if res.Total() <= 0 {
+		t.Fatal("SVM inference costs nothing")
+	}
+	if res.RuntimeCycles != 0 || res.DMACycles != 0 {
+		t.Fatal("single-core SVM must have no runtime/DMA cost")
+	}
+}

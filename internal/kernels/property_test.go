@@ -1,0 +1,108 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pulphd/internal/isa"
+	"pulphd/internal/pulp"
+)
+
+// workFor builds the chain work for an arbitrary geometry.
+func workFor(d, channels, ngram, classes int) (mapEnc, am int64) {
+	a := SyntheticChain(d, channels, ngram, classes, 1)
+	_, w := a.Classify(a.SyntheticWindow(2))
+	me := w.MapEncode.Parallel
+	me.Merge(w.MapEncode.Serial)
+	amc := w.AM.Parallel
+	amc.Merge(w.AM.Serial)
+	return me.Total(), amc.Total()
+}
+
+func geom(dRaw, cRaw, nRaw, kRaw uint8) (d, c, n, k int) {
+	d = (int(dRaw)%40 + 2) * 64 // 128..2624, word aligned
+	c = int(cRaw)%12 + 1
+	n = int(nRaw)%6 + 1
+	k = int(kRaw)%8 + 2
+	return
+}
+
+// TestQuickCountsScaleWithN: MAP+ENCODERS work is proportional to the
+// N-gram size (each timestamp re-encodes), modulo the temporal-encoder
+// additions; AM work is independent of N.
+func TestQuickCountsScaleWithN(t *testing.T) {
+	f := func(dRaw, cRaw, kRaw uint8) bool {
+		d, c, _, k := geom(dRaw, cRaw, 0, kRaw)
+		me1, am1 := workFor(d, c, 1, k)
+		me3, am3 := workFor(d, c, 3, k)
+		if am1 != am3 {
+			return false
+		}
+		// N=3 does 3× the per-timestamp work plus the temporal terms.
+		return me3 > 3*me1-10 && me3 < 3*me1+int64(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCountsScaleWithClasses: AM work grows linearly in the class
+// count; MAP+ENCODERS does not depend on it.
+func TestQuickCountsScaleWithClasses(t *testing.T) {
+	f := func(dRaw, cRaw, nRaw uint8) bool {
+		d, c, n, _ := geom(dRaw, cRaw, nRaw, 0)
+		me2, am2 := workFor(d, c, n, 2)
+		me4, am4 := workFor(d, c, n, 4)
+		if me2 != me4 {
+			return false
+		}
+		// Per-class parallel part doubles; a constant serial tail
+		// (min search bookkeeping) rides along.
+		perClass2 := am2 / 2
+		return am4 > 2*perClass2-64 && am4 < 2*am2+64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCountsLinearInDimension: doubling a word-aligned dimension
+// doubles the parallel op totals of both kernels (serial parts are
+// D-independent).
+func TestQuickCountsLinearInDimension(t *testing.T) {
+	f := func(dRaw, cRaw, nRaw, kRaw uint8) bool {
+		d, c, n, k := geom(dRaw, cRaw, nRaw, kRaw)
+		a1 := SyntheticChain(d, c, n, k, 1)
+		a2 := SyntheticChain(2*d, c, n, k, 1)
+		_, w1 := a1.Classify(a1.SyntheticWindow(2))
+		_, w2 := a2.Classify(a2.SyntheticWindow(2))
+		// The AM's parallel part carries one store per class that does
+		// not scale with D; subtract it for the exact comparison.
+		amLinear := func(w pulp.KernelWork) int64 {
+			return w.Parallel.Total() - int64(k)
+		}
+		return w2.MapEncode.Parallel.Total() == 2*w1.MapEncode.Parallel.Total() &&
+			amLinear(w2.AM) == 2*amLinear(w1.AM)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCyclesMonotoneInCosts: raising any single op cost can never
+// make a kernel faster.
+func TestQuickCyclesMonotoneInCosts(t *testing.T) {
+	a := SyntheticChain(640, 4, 2, 3, 1)
+	_, w := a.Classify(a.SyntheticWindow(2))
+	base := isa.PULPv3()
+	baseCycles := base.Cycles(w.MapEncode.Parallel)
+	f := func(opRaw uint8, bump uint8) bool {
+		m := isa.PULPv3()
+		op := isa.Op(int(opRaw) % 11)
+		m.Costs[op] += int64(bump%7) + 1
+		return m.Cycles(w.MapEncode.Parallel) >= baseCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

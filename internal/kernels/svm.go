@@ -1,0 +1,54 @@
+package kernels
+
+import (
+	"pulphd/internal/isa"
+	"pulphd/internal/pulp"
+	"pulphd/internal/svm"
+)
+
+// KernelSVM names the SVM inference kernel in reports.
+const KernelSVM = "SVM"
+
+// SVMInference models one fixed-point one-vs-one SVM classification as
+// it executes serially on the ARM Cortex M4 (Table 1): for every
+// support vector of every pairwise classifier, a feature-space
+// distance (or dot product), the kernel function, and the coefficient
+// accumulate; then the vote tally.
+//
+// The work is not meaningfully data-parallel on a single-core target,
+// so everything lands in Serial.
+func SVMInference(m *svm.FixedModel) pulp.KernelWork {
+	dim := int64(m.Dim())
+	evals := int64(m.KernelEvaluations())
+	pairs := int64(m.Pairs())
+
+	var ser isa.OpCounts
+	// Feature quantization, once per classification.
+	ser.Add(isa.Load, dim)
+	ser.Add(isa.Mul, dim)
+	ser.Add(isa.ALU, dim)
+	// Per kernel evaluation: the squared-distance loop over features
+	// (load SV word, load feature, subtract, square-accumulate), the
+	// fixed-point exponential (range reduction + cubic polynomial),
+	// and the coefficient multiply-accumulate.
+	ser.Add(isa.Load, evals*dim*2)
+	ser.Add(isa.ALU, evals*dim)
+	ser.Add(isa.MAC, evals*dim)
+	ser.AddLoop(evals * dim)
+	ser.Add(isa.Mul, evals*4)  // γ·dist, r², r³, final scaling
+	ser.Add(isa.ALU, evals*12) // polynomial adds/shifts
+	ser.Add(isa.Compare, evals*2)
+	ser.Add(isa.MAC, evals)  // coef accumulate
+	ser.Add(isa.Load, evals) // coefficient fetch
+	ser.AddLoop(evals)
+	// Vote tally and argmax.
+	ser.Add(isa.Compare, pairs*2)
+	ser.Add(isa.ALU, pairs)
+	ser.AddLoop(pairs)
+
+	return pulp.KernelWork{
+		Name:   KernelSVM,
+		Items:  1,
+		Serial: ser,
+	}
+}

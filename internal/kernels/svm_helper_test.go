@@ -1,0 +1,9 @@
+package kernels
+
+import "pulphd/internal/svm"
+
+// trainSVM is a test helper hiding the config plumbing.
+func trainSVM(features [][]float64, labels []string) (*svm.Model, error) {
+	cfg := svm.DefaultConfig()
+	return svm.Train(features, labels, cfg)
+}

@@ -1,0 +1,57 @@
+package kernels
+
+import (
+	"pulphd/internal/isa"
+	"pulphd/internal/pulp"
+)
+
+// KernelTrain names the on-device training-update kernel.
+const KernelTrain = "AM-UPDATE"
+
+// TrainWork models one on-line training update on the cluster: after
+// the chain encodes the labelled window (mapEncodeWork), the class's
+// per-component counters — D saturating 16-bit counters resident in
+// L1 — are incremented by the encoded bits and the prototype word is
+// re-thresholded. This makes the §3 note that "the AM matrix can be
+// continuously updated for on-line learning" costable: the experiment
+// harness reports update cycles next to inference cycles.
+//
+// Per word: load the encoded word; per bit: extract, counter
+// load/add/store; then the running threshold comparison re-derives
+// the prototype word (bit compare + insert) and stores it.
+func (a *Accelerator) TrainWork() pulp.KernelWork {
+	W := int64(a.words)
+	D := int64(a.d)
+
+	var par isa.OpCounts
+	par.Add(isa.Load, W)       // encoded word
+	par.Add(isa.BitExtract, D) // encoded bit
+	par.Add(isa.Load, D)       // counter load
+	par.Add(isa.ALU, D)        // counter increment (with saturation folded)
+	par.Add(isa.Store, D)      // counter store
+	par.Add(isa.Compare, D)    // against half the update count
+	par.Add(isa.BitInsert, D)  // prototype bit
+	par.Add(isa.Store, W)      // prototype word write-back
+	par.AddLoop(D + W)
+
+	var ser isa.OpCounts
+	ser.Add(isa.ALU, 2) // update counter, half-threshold
+
+	return pulp.KernelWork{
+		Name:     KernelTrain,
+		Items:    W,
+		Parallel: par,
+		Serial:   ser,
+		Regions:  1,
+		// The counter row lives in L1; only the refreshed prototype
+		// row streams back to the L2-resident AM.
+		DMABytes: W * 4,
+	}
+}
+
+// TrainChain returns the full work of one labelled on-line update:
+// encode the window, then fold it into the class counters.
+func (a *Accelerator) TrainChain(window [][]float64) []pulp.KernelWork {
+	_, chain := a.Classify(window)
+	return []pulp.KernelWork{chain.MapEncode, a.TrainWork()}
+}

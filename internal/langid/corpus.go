@@ -1,0 +1,83 @@
+package langid
+
+// BuiltinCorpus is a small self-contained training corpus: simple
+// original sentences per language (diacritics folded to ASCII, which
+// is what the 27-symbol alphabet sees anyway). Real deployments train
+// on megabytes; HD computing separates these eight languages from a
+// few hundred characters each.
+var BuiltinCorpus = map[string]string{
+	"english": `the quick brown fox jumps over the lazy dog near the old river bank
+every morning the children walk to school together along the narrow street
+it was a bright cold day in april and the clocks were striking thirteen
+she opened the window and looked out over the quiet garden before breakfast
+all people are born free and equal in dignity and in their many rights`,
+
+	"german": `der schnelle braune fuchs springt ueber den faulen hund am alten fluss
+jeden morgen gehen die kinder zusammen die schmale strasse entlang zur schule
+es war ein heller kalter tag im april und die uhren schlugen gerade dreizehn
+sie oeffnete das fenster und blickte vor dem fruehstueck in den stillen garten
+alle menschen sind frei und gleich an wuerde und rechten geboren worden`,
+
+	"french": `le rapide renard brun saute par dessus le chien paresseux pres de la riviere
+chaque matin les enfants marchent ensemble vers la petite ecole du village
+c etait une journee claire et froide d avril et les horloges sonnaient treize
+elle ouvrit la fenetre et regarda le jardin tranquille avant le petit dejeuner
+tous les etres humains naissent libres et egaux en dignite et en droits`,
+
+	"spanish": `el rapido zorro marron salta sobre el perro perezoso cerca del viejo rio
+cada manana los ninos caminan juntos a la escuela por la calle estrecha
+era un dia claro y frio de abril y los relojes daban las trece en punto
+ella abrio la ventana y miro el jardin tranquilo antes del desayuno caliente
+todos los seres humanos nacen libres e iguales en dignidad y en derechos`,
+
+	"italian": `la rapida volpe marrone salta sopra il cane pigro vicino al vecchio fiume
+ogni mattina i bambini camminano insieme verso la scuola lungo la strada stretta
+era una giornata chiara e fredda di aprile e gli orologi battevano le tredici
+lei apri la finestra e guardo il giardino tranquillo prima della colazione
+tutti gli esseri umani nascono liberi ed eguali in dignita e in diritti`,
+
+	"portuguese": `a rapida raposa marrom pula sobre o cao preguicoso perto do velho rio
+toda manha as criancas caminham juntas para a escola pela rua estreita
+era um dia claro e frio de abril e os relogios batiam as treze horas
+ela abriu a janela e olhou o jardim tranquilo antes do cafe da manha
+todos os seres humanos nascem livres e iguais em dignidade e em direitos`,
+
+	"dutch": `de snelle bruine vos springt over de luie hond bij de oude rivier
+elke ochtend lopen de kinderen samen door de smalle straat naar school
+het was een heldere koude dag in april en de klokken sloegen dertien
+zij opende het raam en keek voor het ontbijt uit over de stille tuin
+alle mensen worden vrij en gelijk in waardigheid en rechten geboren`,
+
+	"swedish": `den snabba bruna raven hoppar over den lata hunden vid den gamla floden
+varje morgon gar barnen tillsammans till skolan langs den smala gatan
+det var en klar och kall dag i april och klockorna slog precis tretton
+hon oppnade fonstret och sag ut over den stilla tradgarden fore frukosten
+alla manniskor ar fodda fria och lika i vardighet och i sina rattigheter`,
+}
+
+// TestSample is one held-out labelled sentence.
+type TestSample struct {
+	Language string
+	Text     string
+}
+
+// BuiltinTest holds held-out sentences, two per language, disjoint
+// from the training corpus.
+var BuiltinTest = []TestSample{
+	{"english", "a journey of a thousand miles begins with a single careful step"},
+	{"english", "the library was silent except for the slow turning of pages"},
+	{"german", "wer anderen eine grube graebt faellt am ende selbst hinein"},
+	{"german", "die bibliothek war still bis auf das langsame blaettern der seiten"},
+	{"french", "les petits ruisseaux font les grandes rivieres au fil des saisons"},
+	{"french", "la bibliotheque etait silencieuse sauf le lent bruit des pages"},
+	{"spanish", "mas vale pajaro en mano que ciento volando por el cielo abierto"},
+	{"spanish", "la biblioteca estaba en silencio salvo el lento pasar de las paginas"},
+	{"italian", "chi va piano va sano e va lontano dice il vecchio proverbio"},
+	{"italian", "la biblioteca era silenziosa tranne il lento voltare delle pagine"},
+	{"portuguese", "quem nao arrisca nao petisca dizia sempre a minha avo paciente"},
+	{"portuguese", "a biblioteca estava em silencio salvo o lento virar das paginas"},
+	{"dutch", "wie een kuil graaft voor een ander valt er zelf in zegt men"},
+	{"dutch", "de bibliotheek was stil behalve het langzame omslaan van de bladzijden"},
+	{"swedish", "den som graver en grop at andra faller ofta sjalv i den"},
+	{"swedish", "biblioteket var tyst forutom det langsamma bladdrandet av sidorna"},
+}

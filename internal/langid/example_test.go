@@ -1,0 +1,24 @@
+package langid_test
+
+import (
+	"fmt"
+
+	"pulphd/internal/langid"
+)
+
+// Train on the built-in corpus and identify a held-out sentence.
+func Example() {
+	m, err := langid.Train(10000, 3, langid.BuiltinCorpus, 99)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	lang, _, err := m.Classify("the quiet garden was full of morning light and birdsong")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(lang)
+	// Output:
+	// english
+}

@@ -1,0 +1,139 @@
+// Package langid implements language identification from letter
+// N-grams, the workload on which the HDC literature introduced
+// N-gram text encoding (the paper's references [11,12] build RRAM
+// hardware for exactly this classifier). Each text is folded into a
+// single hypervector — letter hypervectors combined per trigram by
+// rotate-and-bind, all trigrams bundled by majority — and languages
+// are prototypes in an associative memory.
+//
+// The package exercises the library's composability: it is built
+// entirely from hdc.ItemMemory, hdc.TemporalEncoder, hv.Bundler and
+// hdc.AssociativeMemory, with no EMG-specific machinery.
+package langid
+
+import (
+	"fmt"
+	"strings"
+
+	"pulphd/internal/hdc"
+	"pulphd/internal/hv"
+)
+
+// alphabetSize covers a–z plus the space separator.
+const alphabetSize = 27
+
+// Encoder folds text into hypervectors.
+type Encoder struct {
+	im  *hdc.ItemMemory
+	enc *hdc.TemporalEncoder
+	d   int
+	n   int
+	// scratch
+	gram hv.Vector
+	seq  []hv.Vector
+}
+
+// NewEncoder returns a text encoder with the given dimensionality and
+// N-gram size. It panics on invalid geometry (d < 8 or n < 1), like
+// the underlying constructors.
+func NewEncoder(d, n int, seed int64) *Encoder {
+	return &Encoder{
+		im:   hdc.NewItemMemory(d, alphabetSize, seed),
+		enc:  hdc.NewTemporalEncoder(d, n),
+		d:    d,
+		n:    n,
+		gram: hv.New(d),
+	}
+}
+
+// N returns the N-gram size.
+func (e *Encoder) N() int { return e.n }
+
+// Dim returns the hypervector dimensionality.
+func (e *Encoder) Dim() int { return e.d }
+
+// symbolIndex maps a rune to an item-memory index; ok is false for
+// runes outside the folded alphabet.
+func symbolIndex(r rune) (int, bool) {
+	switch {
+	case r >= 'a' && r <= 'z':
+		return int(r - 'a'), true
+	case r >= 'A' && r <= 'Z':
+		return int(r - 'A'), true
+	case r == ' ', r == '\n', r == '\t':
+		return 26, true
+	default:
+		return 0, false
+	}
+}
+
+// Encode folds the text's letter N-grams into one hypervector. It
+// returns an error when the text carries fewer than N usable symbols.
+func (e *Encoder) Encode(text string) (hv.Vector, error) {
+	e.seq = e.seq[:0]
+	prevSpace := false
+	for _, r := range strings.ToLower(text) {
+		i, ok := symbolIndex(r)
+		if !ok {
+			continue
+		}
+		// Collapse whitespace runs: "a  b" and "a b" read the same.
+		if i == 26 {
+			if prevSpace {
+				continue
+			}
+			prevSpace = true
+		} else {
+			prevSpace = false
+		}
+		e.seq = append(e.seq, e.im.Vector(i))
+	}
+	if len(e.seq) < e.n {
+		return hv.Vector{}, fmt.Errorf("langid: text has %d usable symbols, need ≥%d", len(e.seq), e.n)
+	}
+	bundle := hv.NewBundler(e.d)
+	for t := 0; t+e.n <= len(e.seq); t++ {
+		e.enc.EncodeTo(e.gram, e.seq[t:t+e.n])
+		bundle.Add(e.gram)
+	}
+	return bundle.Vector(nil), nil
+}
+
+// Model is a trained language identifier.
+type Model struct {
+	enc *Encoder
+	am  *hdc.AssociativeMemory
+}
+
+// Train builds a model from a corpus of language → training text.
+func Train(d, n int, corpus map[string]string, seed int64) (*Model, error) {
+	if len(corpus) < 2 {
+		return nil, fmt.Errorf("langid: need at least two languages, got %d", len(corpus))
+	}
+	m := &Model{
+		enc: NewEncoder(d, n, seed),
+		am:  hdc.NewAssociativeMemory(d, seed+1),
+	}
+	for lang, text := range corpus {
+		v, err := m.enc.Encode(text)
+		if err != nil {
+			return nil, fmt.Errorf("langid: corpus %q: %w", lang, err)
+		}
+		m.am.SetPrototype(lang, v)
+	}
+	return m, nil
+}
+
+// Languages returns the trained language labels.
+func (m *Model) Languages() []string { return m.am.Labels() }
+
+// Classify identifies the language of a text, returning the label and
+// the normalized Hamming distance of the winning prototype.
+func (m *Model) Classify(text string) (string, float64, error) {
+	v, err := m.enc.Encode(text)
+	if err != nil {
+		return "", 0, err
+	}
+	label, dist := m.am.Classify(v)
+	return label, float64(dist) / float64(m.enc.d), nil
+}

@@ -1,0 +1,114 @@
+package langid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuiltinCorpusAccuracy(t *testing.T) {
+	m, err := Train(10000, 3, BuiltinCorpus, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, s := range BuiltinTest {
+		got, _, err := m.Classify(s.Text)
+		if err != nil {
+			t.Fatalf("%q: %v", s.Text, err)
+		}
+		if got == s.Language {
+			correct++
+		}
+	}
+	// Related Romance/Germanic pairs make this nontrivial; trigram HD
+	// should still identify the clear majority of held-out sentences.
+	if correct < len(BuiltinTest)*3/4 {
+		t.Fatalf("%d/%d held-out sentences identified", correct, len(BuiltinTest))
+	}
+}
+
+func TestLanguagesListed(t *testing.T) {
+	m, err := Train(2000, 3, BuiltinCorpus, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Languages()) != len(BuiltinCorpus) {
+		t.Fatalf("%d languages", len(m.Languages()))
+	}
+}
+
+func TestEncoderNormalizesCase(t *testing.T) {
+	e := NewEncoder(2000, 3, 3)
+	a, err := e.Encode("The Quick Fox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Encode("the quick fox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := hamming(a, b); d != 0 {
+		t.Fatalf("case changed the encoding by %d bits", d)
+	}
+}
+
+func TestEncoderFoldsWhitespaceAndPunctuation(t *testing.T) {
+	e := NewEncoder(2000, 3, 4)
+	a, _ := e.Encode("hel12lo,   wor!ld")
+	b, _ := e.Encode("hello world")
+	if d := hamming(a, b); d != 0 {
+		t.Fatalf("punctuation/digits changed the encoding by %d bits", d)
+	}
+}
+
+func TestEncodeTooShort(t *testing.T) {
+	e := NewEncoder(2000, 5, 5)
+	if _, err := e.Encode("ab"); err == nil {
+		t.Fatal("short text accepted")
+	}
+	if _, err := e.Encode("?!%$"); err == nil {
+		t.Fatal("symbol-free text accepted")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(2000, 3, map[string]string{"only": "one language"}, 1); err == nil {
+		t.Fatal("single-language corpus accepted")
+	}
+	if _, err := Train(2000, 3, map[string]string{"a": "xy", "b": strings.Repeat("q", 50)}, 1); err == nil {
+		t.Fatal("too-short corpus entry accepted")
+	}
+}
+
+func TestDistanceOrdering(t *testing.T) {
+	// The winning distance on in-language text must be smaller than
+	// the distance a foreign-language prototype gets.
+	m, err := Train(10000, 3, map[string]string{
+		"english": BuiltinCorpus["english"],
+		"german":  BuiltinCorpus["german"],
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dEn, err := m.Classify("the old garden was quiet in the morning light")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dEn > 0.5 {
+		t.Fatalf("in-language normalized distance %.3f beyond orthogonality", dEn)
+	}
+}
+
+// hamming counts differing components via the public accessors.
+func hamming(a, b interface {
+	Dim() int
+	Bit(int) uint32
+}) int {
+	n := 0
+	for i := 0; i < a.Dim(); i++ {
+		if a.Bit(i) != b.Bit(i) {
+			n++
+		}
+	}
+	return n
+}

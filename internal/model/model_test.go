@@ -1,0 +1,166 @@
+package model
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pulphd/internal/hdc"
+	"pulphd/internal/hv"
+)
+
+func trainedClassifier(t *testing.T) *hdc.Classifier {
+	t.Helper()
+	cfg := hdc.EMGConfig()
+	cfg.D = 1000
+	c := hdc.MustNew(cfg)
+	rng := rand.New(rand.NewSource(3))
+	patterns := map[string][]float64{
+		"fist": {16, 13, 4, 6}, "open": {4, 6, 15, 12}, "rest": {1, 1, 1, 1},
+	}
+	for i := 0; i < 7; i++ {
+		for label, p := range patterns {
+			s := make([]float64, 4)
+			for ch := range s {
+				s[ch] = p[ch] + rng.NormFloat64()
+			}
+			c.Train(label, [][]float64{s})
+		}
+	}
+	return c
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := trainedClassifier(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Configuration survives.
+	if loaded.Config() != c.Config() {
+		t.Fatalf("config mismatch: %+v vs %+v", loaded.Config(), c.Config())
+	}
+	// Item memories regenerate identically from the stored seed.
+	for i := 0; i < c.IM().Len(); i++ {
+		if !hv.Equal(c.IM().Vector(i), loaded.IM().Vector(i)) {
+			t.Fatalf("IM row %d differs after reload", i)
+		}
+	}
+	// Prototypes byte-identical, labels preserved in order.
+	wantLabels := c.AM().Labels()
+	gotLabels := loaded.AM().Labels()
+	if len(wantLabels) != len(gotLabels) {
+		t.Fatalf("labels %v vs %v", gotLabels, wantLabels)
+	}
+	for i := range wantLabels {
+		if wantLabels[i] != gotLabels[i] {
+			t.Fatalf("label %d: %q vs %q", i, gotLabels[i], wantLabels[i])
+		}
+		if !hv.Equal(c.AM().Prototype(i), loaded.AM().Prototype(i)) {
+			t.Fatalf("prototype %q differs after reload", wantLabels[i])
+		}
+	}
+	// Behavioral equivalence on fresh inputs.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 25; i++ {
+		s := []float64{rng.Float64() * 21, rng.Float64() * 21, rng.Float64() * 21, rng.Float64() * 21}
+		wantL, wantD := c.Predict([][]float64{s})
+		gotL, gotD := loaded.Predict([][]float64{s})
+		if wantL != gotL || wantD != gotD {
+			t.Fatalf("prediction %d differs: (%q,%d) vs (%q,%d)", i, gotL, gotD, wantL, wantD)
+		}
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("NOTAMODEL-------"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	c := trainedClassifier(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{4, 8, 20, 60, len(full) - 5, len(full) - 1} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	c := trainedClassifier(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Flip one payload byte in the prototype region; the CRC must
+	// catch it.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)-20] ^= 0x40
+	if _, err := Load(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("corrupted model accepted")
+	}
+}
+
+func TestLoadRejectsImplausibleGeometry(t *testing.T) {
+	c := trainedClassifier(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Overwrite the dimension field (first uint64 after the 8-byte
+	// magic) with an absurd value.
+	corrupt := append([]byte(nil), full...)
+	for i := 0; i < 8; i++ {
+		corrupt[8+i] = 0xff
+	}
+	if _, err := Load(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("absurd dimension accepted")
+	}
+}
+
+func TestSaveUntrainedModel(t *testing.T) {
+	cfg := hdc.EMGConfig()
+	cfg.D = 320
+	c := hdc.MustNew(cfg)
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.AM().Classes() != 0 {
+		t.Fatal("untrained model grew classes in transit")
+	}
+}
+
+func TestLoadedPrototypesAreFixed(t *testing.T) {
+	c := trainedClassifier(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("updating a deployed prototype must panic")
+		}
+	}()
+	loaded.Train("fist", [][]float64{{1, 2, 3, 4}})
+}

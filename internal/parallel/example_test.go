@@ -1,0 +1,29 @@
+package parallel_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pulphd/internal/hv"
+	"pulphd/internal/parallel"
+)
+
+// The associative search distributed over a worker pool, the way the
+// OpenMP code distributes it over the cluster cores — bit-identical
+// to the serial library.
+func Example() {
+	rng := rand.New(rand.NewSource(1))
+	protos := make([]hv.Vector, 5)
+	for i := range protos {
+		protos[i] = hv.NewRandom(10000, rng)
+	}
+	query := protos[2].Clone()
+	query.FlipBits(800, rng)
+
+	pool := parallel.NewPool(4) // four goroutine "cores"
+	idx, dist := pool.AMSearch(query, protos)
+
+	fmt.Printf("nearest prototype %d at distance %d\n", idx, dist)
+	// Output:
+	// nearest prototype 2 at distance 800
+}

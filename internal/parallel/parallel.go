@@ -1,0 +1,229 @@
+// Package parallel executes the HD kernels across goroutines using
+// the exact decomposition the paper's OpenMP code uses on the PULP
+// cluster (Fig. 2): each kernel is a parallel-for over the packed
+// hypervector words with static chunking, so "the workload is equally
+// distributed among the cores, giving to each core a portion of the
+// hypervectors on which the required encoding operations are
+// performed" (§3). Goroutines play the cores; the results are
+// bit-identical to the serial library for any worker count.
+package parallel
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"pulphd/internal/hv"
+)
+
+// Pool executes word-range parallel-fors over a fixed number of
+// workers.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of n workers; n ≤ 0 selects GOMAXPROCS.
+// The PULP analogy caps usefulness around the cluster sizes (4–8),
+// but any positive count works.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForRange splits [0, n) into one static chunk per worker (OpenMP
+// schedule(static)) and runs fn(lo, hi) concurrently. fn must not
+// touch indices outside its range.
+func (p *Pool) ForRange(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func checkDims(op string, dst hv.Vector, vs ...hv.Vector) {
+	for _, v := range vs {
+		if v.Dim() != dst.Dim() {
+			panic(fmt.Sprintf("parallel: %s: dimension mismatch %d != %d", op, v.Dim(), dst.Dim()))
+		}
+	}
+}
+
+// Xor computes dst = a ⊕ b with the word range split across workers
+// — the binding step of the spatial encoder.
+func (p *Pool) Xor(dst, a, b hv.Vector) {
+	checkDims("Xor", dst, a, b)
+	dw, aw, bw := dst.Words(), a.Words(), b.Words()
+	p.ForRange(len(dw), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dw[i] = aw[i] ^ bw[i]
+		}
+	})
+}
+
+// Majority computes the componentwise majority of set into dst, each
+// worker handling its word chunk with the same bit-sliced counters the
+// serial library uses. Ties (even set sizes) resolve to 0, as in
+// hv.MajorityTo without a tie vector; append the accelerator's
+// XOR-of-first-two vector to the set for the §5.1 semantics.
+func (p *Pool) Majority(dst hv.Vector, set []hv.Vector) {
+	if len(set) == 0 {
+		panic("parallel: Majority of no vectors")
+	}
+	checkDims("Majority", dst, set...)
+	words := make([][]uint32, len(set))
+	for i, v := range set {
+		words[i] = v.Words()
+	}
+	dw := dst.Words()
+	threshold := uint32(len(set) / 2)
+	nplanes := bits.Len(uint(len(set)))
+	p.ForRange(len(dw), func(lo, hi int) {
+		planes := make([]uint32, nplanes)
+		for j := lo; j < hi; j++ {
+			for b := range planes {
+				planes[b] = 0
+			}
+			for _, w := range words {
+				carry := w[j]
+				for b := 0; b < nplanes && carry != 0; b++ {
+					planes[b], carry = planes[b]^carry, planes[b]&carry
+				}
+			}
+			var gt uint32
+			eq := ^uint32(0)
+			for b := nplanes - 1; b >= 0; b-- {
+				tb := uint32(0)
+				if threshold&(1<<uint(b)) != 0 {
+					tb = ^uint32(0)
+				}
+				gt |= eq & planes[b] &^ tb
+				eq &= ^(planes[b] ^ tb)
+			}
+			dw[j] = gt
+		}
+	})
+	// The inputs carry clean tails, so every plane and hence the
+	// output tail stays clean; nothing to mask.
+}
+
+// Hamming computes the Hamming distance with per-worker partial
+// popcounts merged at the join — the distributed distance computation
+// of §1.
+func (p *Pool) Hamming(a, b hv.Vector) int {
+	checkDims("Hamming", a, b)
+	aw, bw := a.Words(), b.Words()
+	partial := make([]int, p.workers)
+	var next int
+	var mu sync.Mutex
+	p.ForRange(len(aw), func(lo, hi int) {
+		n := 0
+		for i := lo; i < hi; i++ {
+			n += bits.OnesCount32(aw[i] ^ bw[i])
+		}
+		mu.Lock()
+		partial[next] = n
+		next++
+		mu.Unlock()
+	})
+	total := 0
+	for _, n := range partial[:next] {
+		total += n
+	}
+	return total
+}
+
+// AMSearch finds the minimum-Hamming-distance prototype, computing
+// all distances with word-level parallelism ("the hypervectors are
+// equally distributed among the cores to perform componentwise XOR
+// ... and count the number of mismatches as distances", §3) and
+// reducing serially like the AM kernel does.
+func (p *Pool) AMSearch(query hv.Vector, protos []hv.Vector) (index, distance int) {
+	if len(protos) == 0 {
+		panic("parallel: AMSearch with no prototypes")
+	}
+	checkDims("AMSearch", query, protos...)
+	qw := query.Words()
+	dists := make([]int64, len(protos))
+	var mu sync.Mutex
+	p.ForRange(len(qw), func(lo, hi int) {
+		local := make([]int64, len(protos))
+		for k, proto := range protos {
+			pw := proto.Words()
+			n := 0
+			for i := lo; i < hi; i++ {
+				n += bits.OnesCount32(qw[i] ^ pw[i])
+			}
+			local[k] = int64(n)
+		}
+		mu.Lock()
+		for k, n := range local {
+			dists[k] += n
+		}
+		mu.Unlock()
+	})
+	best, bestDist := 0, int64(query.Dim()+1)
+	for k, d := range dists {
+		if d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best, int(bestDist)
+}
+
+// SpatialEncode runs the full Fig. 2 spatial encoder in parallel:
+// bind every channel, append the tie-break vector for even channel
+// counts, majority into dst. bound must provide scratch for
+// len(im)(+1) vectors of the right dimension.
+func (p *Pool) SpatialEncode(dst hv.Vector, bound, im, cim []hv.Vector) {
+	if len(im) != len(cim) {
+		panic(fmt.Sprintf("parallel: SpatialEncode: %d items for %d levels", len(im), len(cim)))
+	}
+	n := len(im)
+	need := n
+	if n%2 == 0 {
+		need++
+	}
+	if len(bound) < need {
+		panic(fmt.Sprintf("parallel: SpatialEncode: need %d scratch vectors, got %d", need, len(bound)))
+	}
+	for c := 0; c < n; c++ {
+		p.Xor(bound[c], im[c], cim[c])
+	}
+	set := bound[:n]
+	if n%2 == 0 {
+		p.Xor(bound[n], bound[0], bound[1])
+		set = bound[:n+1]
+	}
+	p.Majority(dst, set)
+}

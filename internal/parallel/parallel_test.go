@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+
+	"pulphd/internal/hv"
+)
+
+var testDims = []int{33, 313, 1000, 10000}
+var workerCounts = []int{1, 2, 3, 4, 8, 16}
+
+func TestForRangeCoversExactly(t *testing.T) {
+	for _, workers := range workerCounts {
+		for _, n := range []int{0, 1, 5, 313, 1000} {
+			p := NewPool(workers)
+			seen := make([]int32, n) // disjoint chunks: no two workers share an index
+			p.ForRange(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Fatal("default pool empty")
+	}
+	if NewPool(-3).Workers() < 1 {
+		t.Fatal("negative pool empty")
+	}
+	if NewPool(6).Workers() != 6 {
+		t.Fatal("explicit size ignored")
+	}
+}
+
+func TestXorMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range testDims {
+		a, b := hv.NewRandom(d, rng), hv.NewRandom(d, rng)
+		want := hv.Xor(a, b)
+		for _, workers := range workerCounts {
+			dst := hv.New(d)
+			NewPool(workers).Xor(dst, a, b)
+			if !hv.Equal(dst, want) {
+				t.Fatalf("d=%d workers=%d: parallel XOR deviates", d, workers)
+			}
+		}
+	}
+}
+
+func TestMajorityMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range testDims {
+		for _, n := range []int{1, 3, 5, 7} {
+			set := make([]hv.Vector, n)
+			for i := range set {
+				set[i] = hv.NewRandom(d, rng)
+			}
+			want := hv.New(d)
+			hv.MajorityTo(want, set)
+			for _, workers := range workerCounts {
+				dst := hv.New(d)
+				NewPool(workers).Majority(dst, set)
+				if !hv.Equal(dst, want) {
+					t.Fatalf("d=%d n=%d workers=%d: parallel majority deviates", d, n, workers)
+				}
+			}
+		}
+	}
+}
+
+func TestHammingMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range testDims {
+		a, b := hv.NewRandom(d, rng), hv.NewRandom(d, rng)
+		want := hv.Hamming(a, b)
+		for _, workers := range workerCounts {
+			if got := NewPool(workers).Hamming(a, b); got != want {
+				t.Fatalf("d=%d workers=%d: %d != %d", d, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestAMSearchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const d = 10000
+	protos := make([]hv.Vector, 5)
+	for i := range protos {
+		protos[i] = hv.NewRandom(d, rng)
+	}
+	query := protos[3].Clone()
+	query.FlipBits(700, rng)
+	for _, workers := range workerCounts {
+		idx, dist := NewPool(workers).AMSearch(query, protos)
+		if idx != 3 || dist != 700 {
+			t.Fatalf("workers=%d: (%d,%d), want (3,700)", workers, idx, dist)
+		}
+	}
+}
+
+func TestSpatialEncodeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, channels := range []int{3, 4, 5} {
+		const d = 2048
+		im := make([]hv.Vector, channels)
+		cim := make([]hv.Vector, channels)
+		for i := range im {
+			im[i] = hv.NewRandom(d, rng)
+			cim[i] = hv.NewRandom(d, rng)
+		}
+		// Serial reference with the accelerator's tie-break rule.
+		var set []hv.Vector
+		for i := range im {
+			set = append(set, hv.Xor(im[i], cim[i]))
+		}
+		if channels%2 == 0 {
+			set = append(set, hv.Xor(set[0], set[1]))
+		}
+		want := hv.New(d)
+		hv.MajorityTo(want, set)
+
+		bound := make([]hv.Vector, channels+1)
+		for i := range bound {
+			bound[i] = hv.New(d)
+		}
+		for _, workers := range workerCounts {
+			dst := hv.New(d)
+			NewPool(workers).SpatialEncode(dst, bound, im, cim)
+			if !hv.Equal(dst, want) {
+				t.Fatalf("channels=%d workers=%d: parallel spatial encoding deviates", channels, workers)
+			}
+		}
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	p := NewPool(2)
+	a := hv.New(64)
+	b := hv.New(65)
+	for name, f := range map[string]func(){
+		"xor dims":       func() { p.Xor(a, a, b) },
+		"majority dims":  func() { p.Majority(a, []hv.Vector{b}) },
+		"empty majority": func() { p.Majority(a, nil) },
+		"empty am":       func() { p.AMSearch(a, nil) },
+		"scratch":        func() { p.SpatialEncode(a, nil, []hv.Vector{a}, []hv.Vector{a}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

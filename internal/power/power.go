@@ -1,0 +1,127 @@
+// Package power implements the analytic power model behind Table 2 of
+// the paper: per-block decomposition of the PULPv3 SoC (FLL clock
+// generation, SoC/L2 domain, cluster domain) across operating points
+// (0.7 V and 0.5 V near-threshold), plus the ARM Cortex M4 reference.
+//
+// The constants are calibrated to the silicon measurements reported in
+// Table 2; the model then extrapolates to other frequencies, core
+// counts and voltages (used by the scalability experiments).
+package power
+
+import "fmt"
+
+// OperatingPoint is a cluster voltage/frequency pair.
+type OperatingPoint struct {
+	VoltageV float64
+	FreqMHz  float64
+}
+
+// Breakdown decomposes total power the way Table 2 reports it (mW).
+type Breakdown struct {
+	FLL     float64
+	SoC     float64
+	Cluster float64
+}
+
+// Total returns the chip total in mW.
+func (b Breakdown) Total() float64 { return b.FLL + b.SoC + b.Cluster }
+
+// PULPv3 power-model constants, fitted to Table 2 (see derivation in
+// the doc comment of PULPv3Power).
+const (
+	// fllPowerMW is the fixed power of the two frequency-locked loops,
+	// "not optimized for low-power operation ... 1.45 mW" (§4.2).
+	fllPowerMW = 1.45
+	// optimizedFLLFactor is the reduction a new-generation ADFLL [1]
+	// would bring: "would reduce the clock generation power by 4×"
+	// (§4.2).
+	optimizedFLLFactor = 4.0
+	// socPerMHz is the SoC/L2 domain dynamic power slope: 0.87 mW at
+	// 53.3 MHz and 0.23 mW at 14.3 MHz are both ≈0.0163 mW/MHz.
+	socPerMHz = 0.0163
+	// nominalV is the reference voltage of the cluster dynamic-power
+	// fit.
+	nominalV = 0.7
+	// clusterLeakMW is cluster leakage at 0.7 V.
+	clusterLeakMW = 0.12
+	// leakVoltageExp scales leakage with voltage (empirically strong
+	// in near-threshold FD-SOI; 0.032 mW fits the 0.5 V row).
+	clusterLeak05MW = 0.032
+	// sharedPerMHz is the voltage-normalized dynamic slope of the
+	// shared cluster logic (interconnect, TCDM banks, icache) that
+	// clocks regardless of how many cores compute.
+	sharedPerMHz = 0.0268
+	// corePerMHz is the per-active-core dynamic slope.
+	corePerMHz = 0.0066
+)
+
+// PULPv3Power returns the Table-2 style decomposition for the given
+// operating point and number of active cores.
+//
+// Fit: at 0.7 V/53.3 MHz/1 core the cluster burns
+// 0.12 + 53.3·(0.0268+0.0066) ≈ 1.90 mW; at 0.7 V/14.3 MHz/4 cores
+// 0.12 + 14.3·(0.0268+4·0.0066) ≈ 0.88 mW; scaling the dynamic part by
+// (0.5/0.7)² and swapping the leakage term gives 0.42 mW at 0.5 V —
+// the three cluster entries of Table 2.
+func PULPv3Power(op OperatingPoint, activeCores int) Breakdown {
+	if activeCores < 1 || activeCores > 4 {
+		panic(fmt.Sprintf("power: PULPv3 has 1–4 cores, got %d", activeCores))
+	}
+	if op.VoltageV <= 0 || op.FreqMHz < 0 {
+		panic(fmt.Sprintf("power: bad operating point %+v", op))
+	}
+	vScale := (op.VoltageV / nominalV) * (op.VoltageV / nominalV)
+	leak := clusterLeakMW
+	if op.VoltageV < 0.6 {
+		leak = clusterLeak05MW
+	}
+	dyn := (sharedPerMHz + corePerMHz*float64(activeCores)) * op.FreqMHz * vScale
+	return Breakdown{
+		FLL:     fllPowerMW,
+		SoC:     socPerMHz * op.FreqMHz,
+		Cluster: leak + dyn,
+	}
+}
+
+// PULPv3PowerOptimizedFLL is PULPv3Power with the new-generation
+// low-power ADFLL of [1] substituted, the §4.2 what-if that "would
+// lead to a further 2× reduction of system power".
+func PULPv3PowerOptimizedFLL(op OperatingPoint, activeCores int) Breakdown {
+	b := PULPv3Power(op, activeCores)
+	b.FLL /= optimizedFLLFactor
+	return b
+}
+
+// m4PerMHz is the Cortex M4 power slope at 1.85 V: 20.83 mW at
+// 43.9 MHz (Table 2).
+const m4PerMHz = 20.83 / 43.9
+
+// CortexM4Power returns the M4 total power at the given clock. The
+// discovery-board figure scales linearly with frequency in the
+// datasheet's run-mode table.
+func CortexM4Power(freqMHz float64) Breakdown {
+	if freqMHz < 0 {
+		panic(fmt.Sprintf("power: bad frequency %g", freqMHz))
+	}
+	return Breakdown{Cluster: m4PerMHz * freqMHz}
+}
+
+// EnergyPerClassification returns the energy in microjoules of one
+// classification taking the given cycles at the operating frequency
+// and total power.
+func EnergyPerClassification(totalPowerMW float64, cycles int64, freqMHz float64) float64 {
+	if freqMHz <= 0 {
+		panic(fmt.Sprintf("power: bad frequency %g", freqMHz))
+	}
+	seconds := float64(cycles) / (freqMHz * 1e6)
+	return totalPowerMW * seconds * 1e3 // mW·s → µJ
+}
+
+// Boost returns the paper's "P BOOST" column: reference power divided
+// by this configuration's power.
+func Boost(referenceMW, thisMW float64) float64 {
+	if thisMW <= 0 {
+		panic(fmt.Sprintf("power: bad power %g", thisMW))
+	}
+	return referenceMW / thisMW
+}

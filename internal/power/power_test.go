@@ -1,0 +1,152 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func near(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.3f, want %.3f ±%.3f", name, got, want, tol)
+	}
+}
+
+// TestTable2Rows locks the power model to the measured rows of
+// Table 2.
+func TestTable2Rows(t *testing.T) {
+	// PULPv3 1 core @0.7 V, 53.3 MHz.
+	b := PULPv3Power(OperatingPoint{0.7, 53.3}, 1)
+	near(t, "1c FLL", b.FLL, 1.45, 0.01)
+	near(t, "1c SoC", b.SoC, 0.87, 0.03)
+	near(t, "1c cluster", b.Cluster, 1.90, 0.10)
+	near(t, "1c total", b.Total(), 4.22, 0.12)
+
+	// PULPv3 4 cores @0.7 V, 14.3 MHz.
+	b = PULPv3Power(OperatingPoint{0.7, 14.3}, 4)
+	near(t, "4c SoC", b.SoC, 0.23, 0.02)
+	near(t, "4c cluster", b.Cluster, 0.88, 0.08)
+	near(t, "4c total", b.Total(), 2.56, 0.10)
+
+	// PULPv3 4 cores @0.5 V, 14.3 MHz.
+	b = PULPv3Power(OperatingPoint{0.5, 14.3}, 4)
+	near(t, "4c@0.5 cluster", b.Cluster, 0.42, 0.05)
+	near(t, "4c@0.5 total", b.Total(), 2.10, 0.08)
+
+	// ARM Cortex M4 @43.9 MHz.
+	near(t, "M4 total", CortexM4Power(43.9).Total(), 20.83, 0.01)
+}
+
+// TestTable2Boosts checks the headline power-boost column: 4.9×, 8.1×,
+// 9.9× versus the M4.
+func TestTable2Boosts(t *testing.T) {
+	m4 := CortexM4Power(43.9).Total()
+	near(t, "boost 1c@0.7", Boost(m4, PULPv3Power(OperatingPoint{0.7, 53.3}, 1).Total()), 4.9, 0.3)
+	near(t, "boost 4c@0.7", Boost(m4, PULPv3Power(OperatingPoint{0.7, 14.3}, 4).Total()), 8.1, 0.5)
+	near(t, "boost 4c@0.5", Boost(m4, PULPv3Power(OperatingPoint{0.5, 14.3}, 4).Total()), 9.9, 0.6)
+}
+
+func TestEnergySaving(t *testing.T) {
+	// "3.7× end-to-end speed-up and 2× energy saving compared to its
+	// single core execution" (§1): energy per classification at the
+	// paper's operating points.
+	e1 := EnergyPerClassification(PULPv3Power(OperatingPoint{0.7, 53.3}, 1).Total(), 533_000, 53.3)
+	e4 := EnergyPerClassification(PULPv3Power(OperatingPoint{0.5, 14.3}, 4).Total(), 143_000, 14.3)
+	saving := e1 / e4
+	if saving < 1.8 || saving > 2.3 {
+		t.Fatalf("energy saving %.2f×, want ≈2×", saving)
+	}
+}
+
+func TestOptimizedFLL(t *testing.T) {
+	// §4.2: a low-power ADFLL would cut FLL power 4× and total power
+	// roughly 2× at the 0.5 V point.
+	op := OperatingPoint{0.5, 14.3}
+	std := PULPv3Power(op, 4)
+	opt := PULPv3PowerOptimizedFLL(op, 4)
+	near(t, "optimized FLL", opt.FLL, std.FLL/4, 1e-9)
+	ratio := std.Total() / opt.Total()
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("optimized-FLL total reduction %.2f×, want ≈2×", ratio)
+	}
+	// And ≈20× boost vs the M4.
+	boost := Boost(CortexM4Power(43.9).Total(), opt.Total())
+	if boost < 17 || boost > 23 {
+		t.Fatalf("optimized boost %.1f×, want ≈20×", boost)
+	}
+}
+
+func TestClusterPowerMonotonicInCores(t *testing.T) {
+	op := OperatingPoint{0.7, 50}
+	prev := 0.0
+	for n := 1; n <= 4; n++ {
+		p := PULPv3Power(op, n).Cluster
+		if p <= prev {
+			t.Fatalf("cluster power not increasing with cores: %d cores %.3f", n, p)
+		}
+		prev = p
+	}
+}
+
+func TestVoltageScalingReducesDynamicPower(t *testing.T) {
+	hi := PULPv3Power(OperatingPoint{0.7, 14.3}, 4).Cluster
+	lo := PULPv3Power(OperatingPoint{0.5, 14.3}, 4).Cluster
+	if lo >= hi {
+		t.Fatal("0.5 V must burn less than 0.7 V at the same frequency")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"cores":     func() { PULPv3Power(OperatingPoint{0.7, 50}, 5) },
+		"voltage":   func() { PULPv3Power(OperatingPoint{0, 50}, 1) },
+		"frequency": func() { CortexM4Power(-1) },
+		"energy":    func() { EnergyPerClassification(1, 1, 0) },
+		"boost":     func() { Boost(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWolfPowerExtrapolation(t *testing.T) {
+	// The extrapolated Wolf numbers must stay in a physically sensible
+	// relation to the calibrated PULPv3 model: lower clocking power,
+	// lower total at the same throughput point.
+	op := OperatingPoint{VoltageV: 0.5, FreqMHz: 14.3}
+	w := WolfPower(op, 8)
+	p := PULPv3Power(op, 4)
+	if w.FLL >= p.FLL {
+		t.Fatalf("Wolf FLL %.2f not below PULPv3 %.2f", w.FLL, p.FLL)
+	}
+	if w.Total() >= p.Total() {
+		t.Fatalf("Wolf total %.2f not below PULPv3 %.2f at the same point", w.Total(), p.Total())
+	}
+	// Monotone in cores and voltage.
+	if WolfPower(op, 8).Cluster <= WolfPower(op, 1).Cluster {
+		t.Fatal("Wolf cluster power not increasing with cores")
+	}
+	hi := WolfPower(OperatingPoint{VoltageV: 0.8, FreqMHz: 14.3}, 8).Cluster
+	if hi <= w.Cluster {
+		t.Fatal("Wolf cluster power not increasing with voltage")
+	}
+	for name, f := range map[string]func(){
+		"cores":   func() { WolfPower(op, 9) },
+		"voltage": func() { WolfPower(OperatingPoint{VoltageV: 0, FreqMHz: 1}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,46 @@
+package power
+
+import "fmt"
+
+// Wolf power model — an EXTRAPOLATION, not a reproduction: the paper
+// reports only cycle counts for the Wolf cluster (§5), never power.
+// The constants below extend the calibrated PULPv3 model using the
+// published characteristics of the Wolf-class SoC (Conti et al. 2017
+// [5]; Gautschi et al. 2017 [6]): the same 28 nm-class node with an
+// implementation tuned for energy efficiency — a lower per-core
+// dynamic slope, a larger shared region (8-core interconnect, bigger
+// TCDM), and a modern low-power FLL in place of PULPv3's 1.45 mW
+// clock generator.
+const (
+	wolfFLLmW        = 0.36 // new-generation ADFLL-class clocking [1]
+	wolfSoCPerMHz    = 0.0150
+	wolfNominalV     = 0.8
+	wolfLeakMW       = 0.18  // 8-core cluster leakage at 0.8 V
+	wolfLeakLowMW    = 0.045 // at 0.5 V
+	wolfSharedPerMHz = 0.0310
+	wolfCorePerMHz   = 0.0052
+)
+
+// WolfPower returns the extrapolated Table-2-style decomposition for
+// the Wolf cluster at the given operating point and active core count
+// (1–8). Treat the absolute numbers as indicative; the reproduction
+// claims of this repository rest on the PULPv3 rows only.
+func WolfPower(op OperatingPoint, activeCores int) Breakdown {
+	if activeCores < 1 || activeCores > 8 {
+		panic(fmt.Sprintf("power: Wolf has 1–8 cores, got %d", activeCores))
+	}
+	if op.VoltageV <= 0 || op.FreqMHz < 0 {
+		panic(fmt.Sprintf("power: bad operating point %+v", op))
+	}
+	vScale := (op.VoltageV / wolfNominalV) * (op.VoltageV / wolfNominalV)
+	leak := wolfLeakMW
+	if op.VoltageV < 0.6 {
+		leak = wolfLeakLowMW
+	}
+	dyn := (wolfSharedPerMHz + wolfCorePerMHz*float64(activeCores)) * op.FreqMHz * vScale
+	return Breakdown{
+		FLL:     wolfFLLmW,
+		SoC:     wolfSoCPerMHz * op.FreqMHz,
+		Cluster: leak + dyn,
+	}
+}

@@ -1,0 +1,276 @@
+// Package pulp models the execution platforms of the paper at the
+// cycle-accounting level: the PULPv3 4-core OpenRISC cluster (28 nm
+// FD-SOI, 48 kB L1 TCDM, 64 kB L2, tightly-coupled DMA, OpenMP
+// runtime, §2.2), the 8-core RISC-V Wolf cluster with hardware
+// synchronization (§5.1), and the single-core ARM Cortex M4 baseline.
+//
+// Simulated kernels (internal/kernels) express their work as
+// per-work-item primitive-op counts; Platform.Run turns them into
+// cycles: static-chunk distribution over the cores, per-parallel-
+// region runtime overhead, and DMA double-buffering overlap of L2→L1
+// transfers with computation (§3).
+package pulp
+
+import (
+	"fmt"
+
+	"pulphd/internal/isa"
+)
+
+// RuntimeModel captures the cost of the parallel runtime.
+type RuntimeModel struct {
+	// RegionOverhead is charged once per parallel region entered with
+	// more than one core: fork, static scheduling, join barrier. The
+	// OpenMP runtime of PULPv3 is "a highly optimized bare-metal
+	// library" (§2.2) yet still dominates small kernels; Wolf adds "an
+	// hardware synchronization mechanism which allows to significantly
+	// reduce the programming overheads" (§5.1).
+	RegionOverhead int64
+	// BarrierPerCore adds per participating core on top of
+	// RegionOverhead.
+	BarrierPerCore int64
+}
+
+// overhead returns the per-region runtime cost for n cores.
+func (r RuntimeModel) overhead(n int) int64 {
+	if n <= 1 {
+		return 0 // serial code path, no runtime entry
+	}
+	return r.RegionOverhead + r.BarrierPerCore*int64(n)
+}
+
+// DMAModel describes the cluster DMA engine moving data between L2
+// and the L1 TCDM.
+type DMAModel struct {
+	// Present is false on targets without a DMA (the M4 runs from a
+	// single memory).
+	Present bool
+	// BytesPerCycle is the sustained transfer bandwidth (the 64-bit
+	// AXI4 interconnect sustains 8 B/cycle, "up to 32 Gbit/s at
+	// 500 MHz", §2.2).
+	BytesPerCycle int64
+	// SetupCycles is the programming cost per transfer.
+	SetupCycles int64
+	// DoubleBuffered overlaps transfers with computation: "data
+	// transfers and processing phases can be superimposed" (§3).
+	// Disabling it serializes transfers (ablation).
+	DoubleBuffered bool
+}
+
+// transferCycles is the raw cost of moving n bytes.
+func (d DMAModel) transferCycles(n int64) int64 {
+	if !d.Present || n == 0 {
+		return 0
+	}
+	return d.SetupCycles + (n+d.BytesPerCycle-1)/d.BytesPerCycle
+}
+
+// TCDMModel optionally models bank contention in the shared L1
+// scratchpad. The calibrated cost tables already absorb the measured
+// contention of the real clusters (whose banking factor of ≥2 keeps
+// it small), so Banks = 0 — the default — charges nothing extra; a
+// positive bank count enables the explicit model for sensitivity
+// studies: with uniformly distributed accesses, each L1 access by one
+// of n active cores stalls on average (n−1)/(2·banks) cycles.
+type TCDMModel struct {
+	Banks int
+}
+
+// stallPerAccess returns the expected extra cycles per L1 access.
+func (t TCDMModel) stallPerAccess(cores int) float64 {
+	if t.Banks <= 0 || cores <= 1 {
+		return 0
+	}
+	return float64(cores-1) / (2 * float64(t.Banks))
+}
+
+// Platform is one execution target.
+type Platform struct {
+	Name    string
+	Cores   int
+	ISA     isa.CostModel
+	Runtime RuntimeModel
+	DMA     DMAModel
+	TCDM    TCDMModel
+	L1Bytes int
+	L2Bytes int
+}
+
+// PULPv3Platform returns the silicon-prototype cluster (§2.2) with the
+// given number of active cores (1–4).
+func PULPv3Platform(cores int) Platform {
+	mustCores(cores, 4, "PULPv3")
+	return Platform{
+		Name:  fmt.Sprintf("PULPv3 %d-core", cores),
+		Cores: cores,
+		ISA:   isa.PULPv3(),
+		Runtime: RuntimeModel{
+			RegionOverhead: 1500,
+			BarrierPerCore: 220,
+		},
+		DMA: DMAModel{
+			Present:        true,
+			BytesPerCycle:  8,
+			SetupCycles:    60,
+			DoubleBuffered: true,
+		},
+		L1Bytes: 48 * 1024,
+		L2Bytes: 64 * 1024,
+	}
+}
+
+// WolfPlatform returns the next-generation cluster (§5.1) with 1–8
+// cores, with or without the bit-manipulation built-ins.
+func WolfPlatform(cores int, builtin bool) Platform {
+	mustCores(cores, 8, "Wolf")
+	model := isa.WolfPlain()
+	name := fmt.Sprintf("Wolf %d-core", cores)
+	if builtin {
+		model = isa.WolfBuiltin()
+		name += " built-in"
+	}
+	return Platform{
+		Name:  name,
+		Cores: cores,
+		ISA:   model,
+		Runtime: RuntimeModel{
+			RegionOverhead: 900,
+			BarrierPerCore: 50,
+		},
+		DMA: DMAModel{
+			Present:        true,
+			BytesPerCycle:  8,
+			SetupCycles:    40,
+			DoubleBuffered: true,
+		},
+		L1Bytes: 64 * 1024,
+		L2Bytes: 512 * 1024,
+	}
+}
+
+// CortexM4Platform returns the commercial single-core baseline
+// (STM32F4-DISCOVERY, §4.2).
+func CortexM4Platform() Platform {
+	return Platform{
+		Name:    "ARM Cortex M4",
+		Cores:   1,
+		ISA:     isa.CortexM4(),
+		DMA:     DMAModel{Present: false},
+		L1Bytes: 128 * 1024, // single SRAM
+		L2Bytes: 0,
+	}
+}
+
+func mustCores(cores, max int, name string) {
+	if cores < 1 || cores > max {
+		panic(fmt.Sprintf("pulp: %s supports 1–%d cores, got %d", name, max, cores))
+	}
+}
+
+// KernelWork describes one kernel invocation: a data-parallel part
+// distributed over the cores in static chunks, a serial remainder,
+// and the L2→L1 traffic it triggers.
+type KernelWork struct {
+	// Name labels the kernel in traces ("MAP+ENCODERS", "AM").
+	Name string
+	// Items is the number of uniform work items the parallel part is
+	// chunked into (e.g. hypervector words).
+	Items int64
+	// Parallel is the op count of the whole data-parallel part,
+	// summed over all items.
+	Parallel isa.OpCounts
+	// Serial is executed by a single core (setup, reductions).
+	Serial isa.OpCounts
+	// Regions is the number of parallel regions entered.
+	Regions int
+	// DMABytes is the L2→L1 volume double-buffered against the
+	// computation.
+	DMABytes int64
+}
+
+// KernelResult is the cycle accounting of one kernel on one platform.
+type KernelResult struct {
+	Name string
+	// ComputeCycles is the per-core compute time of the slowest core
+	// (chunk imbalance included).
+	ComputeCycles int64
+	// SerialCycles is the non-parallel remainder.
+	SerialCycles int64
+	// RuntimeCycles is the parallel-runtime overhead.
+	RuntimeCycles int64
+	// DMACycles is the visible (non-hidden) DMA cost.
+	DMACycles int64
+	// HiddenDMACycles is the transfer time that double buffering
+	// overlapped with computation (reported for the ablation).
+	HiddenDMACycles int64
+}
+
+// Total returns the kernel's wall-clock cycles.
+func (r KernelResult) Total() int64 {
+	return r.ComputeCycles + r.SerialCycles + r.RuntimeCycles + r.DMACycles
+}
+
+// Run models the execution of one kernel invocation.
+func (p Platform) Run(w KernelWork) KernelResult {
+	res := KernelResult{Name: w.Name}
+	// Static chunking: the slowest core gets ceil(items/cores) items,
+	// a chunk/items share of the total parallel work.
+	total := p.ISA.Cycles(w.Parallel)
+	if stall := p.TCDM.stallPerAccess(p.Cores); stall > 0 {
+		memOps := w.Parallel.N[isa.Load] + w.Parallel.N[isa.Store]
+		total += int64(stall * float64(memOps))
+	}
+	if w.Items > 0 {
+		chunk := (w.Items + int64(p.Cores) - 1) / int64(p.Cores)
+		res.ComputeCycles = total * chunk / w.Items
+	} else {
+		res.ComputeCycles = total
+	}
+	res.SerialCycles = p.ISA.Cycles(w.Serial)
+	res.RuntimeCycles = int64(w.Regions) * p.Runtime.overhead(p.Cores)
+	transfer := p.DMA.transferCycles(w.DMABytes)
+	if p.DMA.DoubleBuffered {
+		// The first tile cannot overlap; model it as the setup plus
+		// one quarter of the stream, then hide the rest under compute.
+		prologue := transfer / 4
+		remaining := transfer - prologue
+		hidden := remaining
+		visible := prologue
+		if remaining > res.ComputeCycles {
+			// Compute-bound assumption broke: the excess shows.
+			visible += remaining - res.ComputeCycles
+			hidden = res.ComputeCycles
+		}
+		res.DMACycles = visible
+		res.HiddenDMACycles = hidden
+	} else {
+		res.DMACycles = transfer
+	}
+	return res
+}
+
+// RunChain models a sequence of kernels and returns per-kernel results
+// plus the total.
+func (p Platform) RunChain(ws []KernelWork) ([]KernelResult, int64) {
+	out := make([]KernelResult, len(ws))
+	var total int64
+	for i, w := range ws {
+		out[i] = p.Run(w)
+		total += out[i].Total()
+	}
+	return out, total
+}
+
+// FrequencyForLatency returns the lowest clock frequency (MHz) that
+// finishes the given cycle count within the latency budget, the tuning
+// knob of Table 2 ("configure the clock frequency of the processors to
+// achieve a detection latency of 10 ms", §4.2). ok is false when even
+// the maximum frequency misses the budget — the M4's fate beyond 16
+// channels (§5.2).
+func (p Platform) FrequencyForLatency(cycles int64, latencySeconds float64) (mhz float64, ok bool) {
+	if latencySeconds <= 0 {
+		panic(fmt.Sprintf("pulp: FrequencyForLatency: bad latency %g", latencySeconds))
+	}
+	mhz = float64(cycles) / latencySeconds / 1e6
+	return mhz, mhz <= p.ISA.MaxFreqMHz
+}

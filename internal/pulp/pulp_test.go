@@ -1,0 +1,198 @@
+package pulp
+
+import (
+	"testing"
+
+	"pulphd/internal/isa"
+)
+
+// sampleWork builds a uniform parallel workload of the given size.
+func sampleWork(items, opsPerItem int64, regions int, dma int64) KernelWork {
+	var par isa.OpCounts
+	par.Add(isa.ALU, items*opsPerItem)
+	par.AddLoop(items)
+	return KernelWork{
+		Name:     "test",
+		Items:    items,
+		Parallel: par,
+		Regions:  regions,
+		DMABytes: dma,
+	}
+}
+
+func TestSingleCoreNoOverhead(t *testing.T) {
+	p := PULPv3Platform(1)
+	res := p.Run(sampleWork(100, 10, 3, 0))
+	if res.RuntimeCycles != 0 {
+		t.Fatalf("single core charged %d runtime cycles", res.RuntimeCycles)
+	}
+	want := p.ISA.Cycles(sampleWork(100, 10, 3, 0).Parallel)
+	if res.ComputeCycles != want {
+		t.Fatalf("compute %d, want %d", res.ComputeCycles, want)
+	}
+}
+
+func TestParallelChunking(t *testing.T) {
+	// 313 items on 4 cores: the slowest core runs ceil(313/4)=79 items.
+	p := PULPv3Platform(4)
+	w := sampleWork(313, 100, 0, 0)
+	res := p.Run(w)
+	total := p.ISA.Cycles(w.Parallel)
+	want := total * 79 / 313
+	if res.ComputeCycles != want {
+		t.Fatalf("compute %d, want %d", res.ComputeCycles, want)
+	}
+}
+
+func TestRegionOverheadScalesWithRegions(t *testing.T) {
+	p := WolfPlatform(8, true)
+	r1 := p.Run(sampleWork(64, 10, 1, 0))
+	r3 := p.Run(sampleWork(64, 10, 3, 0))
+	if r3.RuntimeCycles != 3*r1.RuntimeCycles {
+		t.Fatalf("runtime cycles %d vs %d not 3×", r3.RuntimeCycles, r1.RuntimeCycles)
+	}
+}
+
+func TestSpeedupSaturatesForSmallKernels(t *testing.T) {
+	// A small kernel must gain less from 8 cores than a big one — the
+	// AM saturation effect of §5.1.
+	small := sampleWork(313, 5, 1, 0)
+	big := sampleWork(313, 500, 1, 0)
+	su := func(w KernelWork) float64 {
+		s := WolfPlatform(1, true).Run(w).Total()
+		p := WolfPlatform(8, true).Run(w).Total()
+		return float64(s) / float64(p)
+	}
+	if su(small) >= su(big) {
+		t.Fatalf("small-kernel speed-up %.2f not below big-kernel %.2f", su(small), su(big))
+	}
+	if su(big) < 6.5 {
+		t.Fatalf("big kernel speed-up %.2f; expected near-ideal scaling", su(big))
+	}
+}
+
+func TestDMADoubleBufferingHidesTransfers(t *testing.T) {
+	// With compute much longer than the transfer, most of the DMA time
+	// must be hidden.
+	p := PULPv3Platform(4)
+	w := sampleWork(313, 1000, 1, 12_000)
+	res := p.Run(w)
+	if res.DMACycles >= res.HiddenDMACycles {
+		t.Fatalf("visible DMA %d not smaller than hidden %d", res.DMACycles, res.HiddenDMACycles)
+	}
+	// Ablation: without double buffering the full transfer shows.
+	p.DMA.DoubleBuffered = false
+	res2 := p.Run(w)
+	if res2.DMACycles <= res.DMACycles {
+		t.Fatal("disabling double buffering did not increase visible DMA")
+	}
+	if res2.HiddenDMACycles != 0 {
+		t.Fatal("non-double-buffered run reports hidden cycles")
+	}
+}
+
+func TestDMATransferBound(t *testing.T) {
+	// When the transfer dwarfs compute, the excess must become visible.
+	p := PULPv3Platform(4)
+	w := sampleWork(8, 1, 1, 1<<20)
+	res := p.Run(w)
+	raw := p.DMA.transferCycles(w.DMABytes)
+	if res.DMACycles+res.HiddenDMACycles != raw {
+		t.Fatalf("DMA accounting leaks cycles: %d+%d != %d", res.DMACycles, res.HiddenDMACycles, raw)
+	}
+	if res.DMACycles < raw/2 {
+		t.Fatal("transfer-bound kernel hid most of its DMA")
+	}
+}
+
+func TestNoDMAOnM4(t *testing.T) {
+	res := CortexM4Platform().Run(sampleWork(100, 10, 1, 99999))
+	if res.DMACycles != 0 || res.HiddenDMACycles != 0 {
+		t.Fatal("M4 has no DMA engine")
+	}
+	if res.RuntimeCycles != 0 {
+		t.Fatal("M4 is single core; no runtime overhead")
+	}
+}
+
+func TestRunChainSumsKernels(t *testing.T) {
+	p := WolfPlatform(4, true)
+	ws := []KernelWork{sampleWork(100, 10, 1, 0), sampleWork(50, 5, 1, 0)}
+	rs, total := p.RunChain(ws)
+	if len(rs) != 2 {
+		t.Fatalf("%d results", len(rs))
+	}
+	if total != rs[0].Total()+rs[1].Total() {
+		t.Fatal("chain total is not the sum of kernels")
+	}
+}
+
+func TestFrequencyForLatency(t *testing.T) {
+	p := PULPv3Platform(1)
+	// 533 kcycles in 10 ms → 53.3 MHz (the Table 2 operating point).
+	mhz, ok := p.FrequencyForLatency(533_000, 0.010)
+	if !ok {
+		t.Fatal("53 MHz must be feasible")
+	}
+	if mhz < 53.2 || mhz > 53.4 {
+		t.Fatalf("frequency %.2f MHz, want 53.3", mhz)
+	}
+	// The M4 tops out at 168 MHz: 2 Mcycles in 10 ms is infeasible.
+	if _, ok := CortexM4Platform().FrequencyForLatency(2_000_000, 0.010); ok {
+		t.Fatal("M4 cannot run 200 MHz")
+	}
+}
+
+func TestPlatformConstructorsValidate(t *testing.T) {
+	for name, f := range map[string]func(){
+		"pulpv3-0": func() { PULPv3Platform(0) },
+		"pulpv3-5": func() { PULPv3Platform(5) },
+		"wolf-9":   func() { WolfPlatform(9, true) },
+		"wolf-0":   func() { WolfPlatform(0, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMemorySizes(t *testing.T) {
+	// §2.2: 48 kB TCDM, 64 kB L2 on PULPv3.
+	p := PULPv3Platform(4)
+	if p.L1Bytes != 48*1024 || p.L2Bytes != 64*1024 {
+		t.Fatalf("PULPv3 memories %d/%d", p.L1Bytes, p.L2Bytes)
+	}
+}
+
+func TestTCDMContention(t *testing.T) {
+	w := sampleWork(313, 10, 1, 0)
+	// sampleWork carries only ALU ops; add explicit memory traffic.
+	w.Parallel.Add(isa.Load, 313*20)
+	w.Parallel.Add(isa.Store, 313*5)
+
+	ideal := PULPv3Platform(4)
+	congested := PULPv3Platform(4)
+	congested.TCDM.Banks = 2
+	ci := ideal.Run(w).ComputeCycles
+	cc := congested.Run(w).ComputeCycles
+	if cc <= ci {
+		t.Fatal("2-bank TCDM did not slow the 4-core run")
+	}
+	// Expected stall: (4−1)/(2·2) = 0.75 cycles per access.
+	extra := float64(cc-ci) / float64(ci)
+	if extra < 0.05 || extra > 0.60 {
+		t.Fatalf("contention slowdown %.2f implausible", extra)
+	}
+	// Single core never contends.
+	one := PULPv3Platform(1)
+	one.TCDM.Banks = 2
+	base := PULPv3Platform(1)
+	if one.Run(w).ComputeCycles != base.Run(w).ComputeCycles {
+		t.Fatal("single-core run charged contention")
+	}
+}

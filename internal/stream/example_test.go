@@ -1,0 +1,37 @@
+package stream_test
+
+import (
+	"fmt"
+
+	"pulphd/internal/hdc"
+	"pulphd/internal/stream"
+)
+
+// Real-time operation: samples arrive one at a time; a decision is
+// emitted every detection period once the N-gram history has filled.
+func Example() {
+	cfg := hdc.Config{
+		D: 1000, Channels: 4, Levels: 22, MinLevel: 0, MaxLevel: 21,
+		NGram: 1, Window: 1, Seed: 13,
+	}
+	cls := hdc.MustNew(cfg)
+	cls.Train("fist", [][]float64{{17, 14, 3, 5}})
+	cls.Train("open", [][]float64{{4, 6, 16, 13}})
+
+	sc, err := stream.New(cls, stream.Config{DetectionStride: 5, SmoothWindow: 3})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	decisions := 0
+	var last stream.Decision
+	for i := 0; i < 25; i++ { // 25 samples at 500 Hz = 50 ms
+		if d, ok := sc.Push([]float64{17, 13, 4, 5}); ok {
+			decisions++
+			last = d
+		}
+	}
+	fmt.Printf("%d decisions in 50 ms, last: %s\n", decisions, last.Smoothed)
+	// Output:
+	// 5 decisions in 50 ms, last: fist
+}

@@ -1,0 +1,145 @@
+// Package stream wraps the HD classifier for real-time operation, the
+// deployment mode of the paper's wearable system: envelope samples
+// arrive at the acquisition rate (500 Hz), a classification fires
+// every detection period (10 ms → every 5th sample), and the raw
+// per-window decisions pass through a majority filter — the standard
+// post-processing of embedded gesture controllers, which suppresses
+// the isolated errors that motion artifacts cause.
+package stream
+
+import (
+	"fmt"
+
+	"pulphd/internal/hdc"
+)
+
+// Config parameterizes the streaming front end.
+type Config struct {
+	// DetectionStride is the number of incoming samples between
+	// classifications (5 at 500 Hz reproduces the paper's 10 ms
+	// detection latency).
+	DetectionStride int
+	// SmoothWindow is the number of most recent raw decisions the
+	// majority filter votes over; 1 disables smoothing.
+	SmoothWindow int
+}
+
+// DefaultConfig matches the paper's real-time operating point with a
+// 5-decision (50 ms) majority filter.
+func DefaultConfig() Config {
+	return Config{DetectionStride: 5, SmoothWindow: 5}
+}
+
+func (c Config) validate() error {
+	if c.DetectionStride < 1 {
+		return fmt.Errorf("stream: detection stride %d must be ≥1", c.DetectionStride)
+	}
+	if c.SmoothWindow < 1 {
+		return fmt.Errorf("stream: smoothing window %d must be ≥1", c.SmoothWindow)
+	}
+	return nil
+}
+
+// Decision is one emitted classification.
+type Decision struct {
+	// Raw is the label of this window alone.
+	Raw string
+	// Smoothed is the majority vote over the last SmoothWindow raw
+	// decisions (ties resolve to the most recent raw label).
+	Smoothed string
+	// Distance is the Hamming distance of the raw decision.
+	Distance int
+	// Sample is the index of the sample that triggered the decision.
+	Sample int
+}
+
+// Classifier is the streaming wrapper. It is not safe for concurrent
+// use; one stream corresponds to one acquisition channel set.
+type Classifier struct {
+	cls *hdc.Classifier
+	cfg Config
+
+	window   [][]float64 // last NGram samples, oldest first
+	nSamples int
+	sinceCls int
+	recent   []string // ring of raw decisions
+	recentN  int
+}
+
+// New wraps a trained classifier.
+func New(cls *hdc.Classifier, cfg Config) (*Classifier, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cls.Config().NGram
+	s := &Classifier{
+		cls:    cls,
+		cfg:    cfg,
+		window: make([][]float64, 0, n),
+		recent: make([]string, cfg.SmoothWindow),
+	}
+	return s, nil
+}
+
+// Reset clears all streaming state (between trials/sessions).
+func (s *Classifier) Reset() {
+	s.window = s.window[:0]
+	s.nSamples = 0
+	s.sinceCls = 0
+	s.recentN = 0
+}
+
+// Push feeds one time-aligned sample (one value per channel). When a
+// detection period completes and enough history exists for the N-gram
+// window, it returns the decision and true.
+func (s *Classifier) Push(sample []float64) (Decision, bool) {
+	if len(sample) != s.cls.Config().Channels {
+		panic(fmt.Sprintf("stream: Push: %d channels, want %d", len(sample), s.cls.Config().Channels))
+	}
+	n := s.cls.Config().NGram
+	cp := append([]float64(nil), sample...)
+	if len(s.window) == n {
+		copy(s.window, s.window[1:])
+		s.window[n-1] = cp
+	} else {
+		s.window = append(s.window, cp)
+	}
+	s.nSamples++
+	s.sinceCls++
+	if len(s.window) < n || s.sinceCls < s.cfg.DetectionStride {
+		return Decision{}, false
+	}
+	s.sinceCls = 0
+	raw, dist := s.cls.Predict(s.window)
+	s.recent[s.recentN%len(s.recent)] = raw
+	s.recentN++
+	return Decision{
+		Raw:      raw,
+		Smoothed: s.vote(raw),
+		Distance: dist,
+		Sample:   s.nSamples - 1,
+	}, true
+}
+
+// vote returns the modal label among the recent raw decisions,
+// breaking ties in favor of the newest decision.
+func (s *Classifier) vote(newest string) string {
+	n := s.recentN
+	if n > len(s.recent) {
+		n = len(s.recent)
+	}
+	counts := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		counts[s.recent[i]]++
+	}
+	best, bestN := newest, counts[newest]
+	for label, c := range counts {
+		if c > bestN {
+			best, bestN = label, c
+		}
+	}
+	return best
+}
+
+// Decisions returns how many decisions have been emitted.
+func (s *Classifier) Decisions() int { return s.recentN }

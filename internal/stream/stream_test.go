@@ -1,0 +1,182 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"pulphd/internal/hdc"
+)
+
+func trainedClassifier(t *testing.T, ngram int) *hdc.Classifier {
+	t.Helper()
+	cfg := hdc.EMGConfig()
+	cfg.D = 1000
+	cfg.NGram = ngram
+	cfg.Window = ngram
+	cls := hdc.MustNew(cfg)
+	rng := rand.New(rand.NewSource(1))
+	patterns := map[string][]float64{
+		"a": {16, 3, 8, 2}, "b": {3, 14, 2, 10},
+	}
+	for i := 0; i < 9; i++ {
+		for label, p := range patterns {
+			w := make([][]float64, ngram)
+			for t0 := range w {
+				row := make([]float64, 4)
+				for c := range row {
+					row[c] = p[c] + rng.NormFloat64()
+				}
+				w[t0] = row
+			}
+			cls.Train(label, w)
+		}
+	}
+	return cls
+}
+
+func push(t *testing.T, s *Classifier, sample []float64) (Decision, bool) {
+	t.Helper()
+	return s.Push(sample)
+}
+
+func TestDecisionCadence(t *testing.T) {
+	s, err := New(trainedClassifier(t, 1), Config{DetectionStride: 5, SmoothWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	for i := 0; i < 100; i++ {
+		if _, ok := push(t, s, []float64{16, 3, 8, 2}); ok {
+			emitted++
+		}
+	}
+	if emitted != 20 {
+		t.Fatalf("%d decisions from 100 samples at stride 5, want 20", emitted)
+	}
+	if s.Decisions() != 20 {
+		t.Fatalf("Decisions() = %d", s.Decisions())
+	}
+}
+
+func TestNGramWaitsForHistory(t *testing.T) {
+	s, err := New(trainedClassifier(t, 3), Config{DetectionStride: 1, SmoothWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := push(t, s, []float64{1, 2, 3, 4}); ok {
+		t.Fatal("decision before N-gram history filled")
+	}
+	if _, ok := push(t, s, []float64{1, 2, 3, 4}); ok {
+		t.Fatal("decision before N-gram history filled")
+	}
+	if _, ok := push(t, s, []float64{1, 2, 3, 4}); !ok {
+		t.Fatal("no decision once history filled")
+	}
+}
+
+func TestClassifiesCorrectly(t *testing.T) {
+	s, err := New(trainedClassifier(t, 1), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	correct, total := 0, 0
+	for i := 0; i < 200; i++ {
+		sample := []float64{16 + rng.NormFloat64(), 3 + rng.NormFloat64(), 8 + rng.NormFloat64(), 2 + rng.NormFloat64()}
+		if d, ok := push(t, s, sample); ok {
+			total++
+			if d.Smoothed == "a" {
+				correct++
+			}
+		}
+	}
+	if total == 0 || correct < total*9/10 {
+		t.Fatalf("smoothed accuracy %d/%d", correct, total)
+	}
+}
+
+func TestSmoothingSuppressesIsolatedErrors(t *testing.T) {
+	// Feed a steady "a" pattern with occasional artifact samples; the
+	// smoothed stream must correct raw errors.
+	s, err := New(trainedClassifier(t, 1), Config{DetectionStride: 1, SmoothWindow: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	rawErr, smErr, total := 0, 0, 0
+	for i := 0; i < 400; i++ {
+		sample := []float64{16 + rng.NormFloat64(), 3 + rng.NormFloat64(), 8 + rng.NormFloat64(), 2 + rng.NormFloat64()}
+		if i%10 == 0 {
+			sample[1] += 15 // periodic single-sample artifact toward "b"
+		}
+		d, ok := push(t, s, sample)
+		if !ok || i < 20 {
+			continue
+		}
+		total++
+		if d.Raw != "a" {
+			rawErr++
+		}
+		if d.Smoothed != "a" {
+			smErr++
+		}
+	}
+	if rawErr == 0 {
+		t.Skip("artifacts did not flip any raw decision; nothing to smooth")
+	}
+	if smErr >= rawErr {
+		t.Fatalf("smoothing did not help: raw %d/%d errors, smoothed %d/%d", rawErr, total, smErr, total)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	s, err := New(trainedClassifier(t, 3), Config{DetectionStride: 1, SmoothWindow: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		push(t, s, []float64{1, 2, 3, 4})
+	}
+	s.Reset()
+	if s.Decisions() != 0 {
+		t.Fatal("Reset kept decision count")
+	}
+	if _, ok := push(t, s, []float64{1, 2, 3, 4}); ok {
+		t.Fatal("decision immediately after Reset despite N-gram history requirement")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cls := trainedClassifier(t, 1)
+	if _, err := New(cls, Config{DetectionStride: 0, SmoothWindow: 1}); err == nil {
+		t.Error("stride 0 accepted")
+	}
+	if _, err := New(cls, Config{DetectionStride: 1, SmoothWindow: 0}); err == nil {
+		t.Error("smoothing 0 accepted")
+	}
+}
+
+func TestPushPanicsOnWrongChannels(t *testing.T) {
+	s, _ := New(trainedClassifier(t, 1), DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong channel count")
+		}
+	}()
+	s.Push([]float64{1, 2})
+}
+
+func TestPushDoesNotAliasCallerSlice(t *testing.T) {
+	s, _ := New(trainedClassifier(t, 3), Config{DetectionStride: 1, SmoothWindow: 1})
+	sample := []float64{16, 3, 8, 2}
+	s.Push(sample)
+	sample[0] = -999 // mutate after push
+	s.Push([]float64{16, 3, 8, 2})
+	d, ok := s.Push([]float64{16, 3, 8, 2})
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.Raw != "a" {
+		t.Fatalf("stale aliased sample corrupted the window: got %q", d.Raw)
+	}
+}

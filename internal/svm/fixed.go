@@ -1,0 +1,170 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// FracBits is the Q-format precision of the fixed-point inference
+// path (Q16.15-style scaling): features, support vectors and
+// coefficients are quantized to this many fractional bits, matching
+// the embedded deployment where "a fixed-point approach is used ...
+// [which] leads to best performance preserving the accuracy" (§4.1,
+// citing [13]).
+const FracBits = 12
+
+// FixedModel is the quantized deployment form of a trained SVM: the
+// exact model the M4 inference kernel executes.
+type FixedModel struct {
+	classes []string
+	dim     int
+	gamma   int64 // RBF gamma in Q format; 0 selects the linear kernel
+	scale   float64
+	pairs   []fixedBinary
+}
+
+type fixedBinary struct {
+	pos, neg int
+	svs      [][]int32
+	coef     []int64
+	b        int64
+}
+
+func toFixed(x float64) int64 {
+	return int64(math.Round(x * (1 << FracBits)))
+}
+
+// Quantize converts a trained model to fixed point. featureScale maps
+// the raw feature range to [0,1] before quantization (21 mV for the
+// EMG envelopes), keeping the Q-format headroom.
+func (m *Model) Quantize(featureScale float64) *FixedModel {
+	if featureScale <= 0 {
+		panic(fmt.Sprintf("svm: Quantize: bad feature scale %g", featureScale))
+	}
+	fm := &FixedModel{
+		classes: m.Classes(),
+		dim:     m.dim,
+		scale:   featureScale,
+	}
+	if rbf, ok := m.cfg.Kernel.(RBF); ok {
+		// The kernel operates on scaled features, so γ must absorb the
+		// scale squared.
+		fm.gamma = toFixed(rbf.Gamma * featureScale * featureScale)
+	} else {
+		// The linear kernel's dot product is not scale invariant;
+		// quantize in raw units instead (EMG envelopes up to 21 mV fit
+		// the Q format with ample headroom).
+		fm.scale = 1
+	}
+	for i := range m.pairs {
+		p := &m.pairs[i]
+		fb := fixedBinary{pos: p.pos, neg: p.neg, b: toFixed(p.b)}
+		for j, sv := range p.svs {
+			q := make([]int32, len(sv))
+			for k, v := range sv {
+				q[k] = int32(toFixed(v / fm.scale))
+			}
+			fb.svs = append(fb.svs, q)
+			fb.coef = append(fb.coef, toFixed(p.coef[j]))
+		}
+		fm.pairs = append(fm.pairs, fb)
+	}
+	return fm
+}
+
+// QuantizeFeatures converts a raw feature vector to the fixed-point
+// input format.
+func (fm *FixedModel) QuantizeFeatures(x []float64) []int32 {
+	out := make([]int32, len(x))
+	for i, v := range x {
+		out[i] = int32(toFixed(v / fm.scale))
+	}
+	return out
+}
+
+// expFixed evaluates exp(-x) for x ≥ 0 in Q format using range
+// reduction by powers of two and a cubic polynomial on [0, ln2) —
+// the arithmetic an integer-only embedded kernel performs.
+func expFixed(x int64) int64 {
+	if x <= 0 {
+		return 1 << FracBits
+	}
+	// ln2 in Q format; derived from the float constant so FracBits can
+	// change freely.
+	ln2 := toFixed(math.Ln2)
+	k := x / ln2
+	if k >= 30 {
+		return 0
+	}
+	r := x - k*ln2 // in [0, ln2)
+	// exp(-r) ≈ 1 - r + r²/2 - r³/6 on the reduced range.
+	r2 := (r * r) >> FracBits
+	r3 := (r2 * r) >> FracBits
+	e := (1 << FracBits) - r + r2/2 - r3/6
+	return e >> uint(k)
+}
+
+func (fb *fixedBinary) decision(gamma int64, x []int32) int64 {
+	s := fb.b
+	for i, sv := range fb.svs {
+		var kv int64
+		if gamma == 0 {
+			// Linear: dot product in Q2f, renormalized to Qf.
+			var dot int64
+			for j := range sv {
+				dot += int64(sv[j]) * int64(x[j])
+			}
+			kv = dot >> FracBits
+		} else {
+			var dist int64
+			for j := range sv {
+				d := int64(sv[j]) - int64(x[j])
+				dist += (d * d) >> FracBits
+			}
+			kv = expFixed((gamma * dist) >> FracBits)
+		}
+		s += (fb.coef[i] * kv) >> FracBits
+	}
+	return s
+}
+
+// Predict classifies a raw feature vector through the fixed-point
+// path.
+func (fm *FixedModel) Predict(x []float64) string {
+	if len(x) != fm.dim {
+		panic(fmt.Sprintf("svm: FixedModel.Predict: feature dim %d, want %d", len(x), fm.dim))
+	}
+	q := fm.QuantizeFeatures(x)
+	votes := make([]int, len(fm.classes))
+	for i := range fm.pairs {
+		p := &fm.pairs[i]
+		if p.decision(fm.gamma, q) >= 0 {
+			votes[p.pos]++
+		} else {
+			votes[p.neg]++
+		}
+	}
+	best := 0
+	for i, v := range votes {
+		if v > votes[best] {
+			best = i
+		}
+	}
+	return fm.classes[best]
+}
+
+// KernelEvaluations mirrors Model.KernelEvaluations for the quantized
+// model.
+func (fm *FixedModel) KernelEvaluations() int {
+	n := 0
+	for i := range fm.pairs {
+		n += len(fm.pairs[i].svs)
+	}
+	return n
+}
+
+// Dim returns the feature dimensionality.
+func (fm *FixedModel) Dim() int { return fm.dim }
+
+// Pairs returns the number of pairwise classifiers.
+func (fm *FixedModel) Pairs() int { return len(fm.pairs) }

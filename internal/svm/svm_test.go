@@ -1,0 +1,212 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blobs generates a small Gaussian-blob classification problem.
+func blobs(centers [][]float64, perClass int, noise float64, seed int64) (x [][]float64, y []string) {
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"a", "b", "c", "d", "e"}
+	for ci, c := range centers {
+		for i := 0; i < perClass; i++ {
+			p := make([]float64, len(c))
+			for j := range p {
+				p[j] = c[j] + rng.NormFloat64()*noise
+			}
+			x = append(x, p)
+			y = append(y, names[ci])
+		}
+	}
+	return x, y
+}
+
+var testCenters = [][]float64{
+	{1, 1, 1, 1},
+	{15, 3, 8, 2},
+	{3, 14, 2, 10},
+	{9, 9, 15, 3},
+	{2, 5, 4, 16},
+}
+
+func trainBlobs(t *testing.T, noise float64) (*Model, [][]float64, []string) {
+	t.Helper()
+	x, y := blobs(testCenters, 40, noise, 7)
+	m, err := Train(x, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, x, y
+}
+
+func accuracy(predict func([]float64) string, x [][]float64, y []string) float64 {
+	correct := 0
+	for i := range x {
+		if predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+func TestTrainSeparableBlobs(t *testing.T) {
+	m, x, y := trainBlobs(t, 1.0)
+	if acc := accuracy(m.Predict, x, y); acc < 0.97 {
+		t.Fatalf("training accuracy %.2f on separable blobs", acc)
+	}
+}
+
+func TestGeneralization(t *testing.T) {
+	m, _, _ := trainBlobs(t, 1.2)
+	xt, yt := blobs(testCenters, 30, 1.2, 99)
+	if acc := accuracy(m.Predict, xt, yt); acc < 0.9 {
+		t.Fatalf("test accuracy %.2f", acc)
+	}
+}
+
+func TestLinearKernel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Kernel = Linear{}
+	x, y := blobs(testCenters, 40, 1.0, 8)
+	m, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(m.Predict, x, y); acc < 0.95 {
+		t.Fatalf("linear-kernel accuracy %.2f", acc)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultConfig()); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []string{"a", "b"}, DefaultConfig()); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []string{"a", "a"}, DefaultConfig()); err == nil {
+		t.Error("single class accepted")
+	}
+	if _, err := Train([][]float64{{1}, {2, 3}}, []string{"a", "b"}, DefaultConfig()); err == nil {
+		t.Error("ragged features accepted")
+	}
+}
+
+func TestModelReportsStructure(t *testing.T) {
+	m, _, _ := trainBlobs(t, 1.0)
+	if m.Dim() != 4 {
+		t.Errorf("Dim = %d", m.Dim())
+	}
+	if got := m.Pairs(); got != 10 {
+		t.Errorf("Pairs = %d, want C(5,2)=10", got)
+	}
+	if len(m.Classes()) != 5 {
+		t.Errorf("Classes = %v", m.Classes())
+	}
+	if m.SupportVectorCount() == 0 || m.KernelEvaluations() == 0 {
+		t.Error("model has no support vectors")
+	}
+	// The SV count is a model-size statistic; it must not exceed the
+	// training set.
+	if m.SupportVectorCount() > 200 {
+		t.Errorf("SupportVectorCount = %d > training size", m.SupportVectorCount())
+	}
+}
+
+func TestPredictDimPanics(t *testing.T) {
+	m, _, _ := trainBlobs(t, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong feature dim")
+		}
+	}()
+	m.Predict([]float64{1, 2})
+}
+
+func TestRBFKernelProperties(t *testing.T) {
+	k := RBF{Gamma: 0.5}
+	a := []float64{1, 2, 3}
+	if v := k.Eval(a, a); math.Abs(v-1) > 1e-12 {
+		t.Errorf("K(a,a) = %g, want 1", v)
+	}
+	b := []float64{100, 200, 300}
+	if v := k.Eval(a, b); v > 1e-6 {
+		t.Errorf("distant kernel value %g", v)
+	}
+	if k.Eval(a, b) != k.Eval(b, a) {
+		t.Error("kernel not symmetric")
+	}
+}
+
+func TestFixedPointMatchesFloat(t *testing.T) {
+	// The quantized model must agree with the float model on nearly
+	// every sample ("preserving the accuracy", §4.1).
+	m, x, y := trainBlobs(t, 1.2)
+	fm := m.Quantize(21)
+	agree := 0
+	for i := range x {
+		if m.Predict(x[i]) == fm.Predict(x[i]) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(x)); frac < 0.97 {
+		t.Fatalf("fixed-point agreement %.3f", frac)
+	}
+	if accF, accQ := accuracy(m.Predict, x, y), accuracy(fm.Predict, x, y); accF-accQ > 0.02 {
+		t.Fatalf("fixed point lost accuracy: %.3f vs %.3f", accF, accQ)
+	}
+}
+
+func TestExpFixed(t *testing.T) {
+	for _, x := range []float64{0, 0.1, 0.5, 1, 2, 5, 10} {
+		got := float64(expFixed(toFixed(x))) / (1 << FracBits)
+		want := math.Exp(-x)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("expFixed(%g) = %.4f, want %.4f", x, got, want)
+		}
+	}
+	if expFixed(-100) != 1<<FracBits {
+		t.Error("expFixed of negative must clamp to 1")
+	}
+	if expFixed(toFixed(50)) != 0 {
+		t.Error("expFixed must underflow to 0 for large x")
+	}
+}
+
+func TestFixedLinearKernel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Kernel = Linear{}
+	x, y := blobs(testCenters, 40, 1.0, 9)
+	m, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := m.Quantize(21)
+	if fm.gamma != 0 {
+		t.Fatal("linear model must quantize with gamma=0")
+	}
+	if accF, accQ := accuracy(m.Predict, x, y), accuracy(fm.Predict, x, y); accF-accQ > 0.03 {
+		t.Fatalf("fixed linear lost accuracy: %.3f vs %.3f", accF, accQ)
+	}
+}
+
+func TestQuantizeBadScalePanics(t *testing.T) {
+	m, _, _ := trainBlobs(t, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero feature scale")
+		}
+	}()
+	m.Quantize(0)
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	x, y := blobs(testCenters, 30, 1.0, 10)
+	m1, _ := Train(x, y, DefaultConfig())
+	m2, _ := Train(x, y, DefaultConfig())
+	if m1.SupportVectorCount() != m2.SupportVectorCount() {
+		t.Fatal("same seed produced different models")
+	}
+}

@@ -1,0 +1,94 @@
+package pulphd
+
+import (
+	"testing"
+
+	"pulphd/internal/experiments"
+)
+
+// TestReproductionHeadlines is the repository's single-source
+// integration check: every headline claim of the paper, asserted
+// against the full default campaign. It is the slowest test in the
+// tree (≈1 min); -short skips it and relies on the per-package tests.
+func TestReproductionHeadlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-campaign reproduction check skipped in -short mode")
+	}
+	p := prepared()
+
+	t.Run("accuracy", func(t *testing.T) {
+		r, err := experiments.Accuracy(p, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Paper: HD 92.4 %, SVM 89.6 %.
+		if r.MeanHD < 0.89 || r.MeanHD > 0.96 {
+			t.Errorf("HD mean accuracy %.3f outside the paper's neighbourhood of 0.924", r.MeanHD)
+		}
+		if r.MeanHD <= r.MeanSVM {
+			t.Errorf("HD (%.3f) must beat the SVM (%.3f)", r.MeanHD, r.MeanSVM)
+		}
+		if gap := r.MeanHD - r.MeanSVM; gap < 0.005 || gap > 0.08 {
+			t.Errorf("HD−SVM gap %.3f; paper reports ≈0.028", gap)
+		}
+	})
+
+	t.Run("table1", func(t *testing.T) {
+		r, err := experiments.Table1(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Paper: ≈2× faster at iso-accuracy.
+		if ratio := r.SVMKCycles / r.HDKCycles; ratio < 1.5 || ratio > 4 {
+			t.Errorf("SVM/HD cycle ratio %.2f; paper reports ≈2×", ratio)
+		}
+		if r.HDAccuracy < r.SVMAccuracy-0.02 {
+			t.Errorf("200-D HD accuracy %.3f below SVM %.3f", r.HDAccuracy, r.SVMAccuracy)
+		}
+	})
+
+	t.Run("table2", func(t *testing.T) {
+		r := experiments.Table2(p)
+		last := r.Rows[len(r.Rows)-1]
+		if last.Boost < 9 || last.Boost > 11 {
+			t.Errorf("0.5 V boost %.1f×; paper reports 9.9×", last.Boost)
+		}
+		if r.EnergySaving < 1.8 || r.EnergySaving > 2.2 {
+			t.Errorf("energy saving %.2f×; paper reports 2×", r.EnergySaving)
+		}
+	})
+
+	t.Run("table3", func(t *testing.T) {
+		r := experiments.Table3(p)
+		total := r.Cells[2]
+		if sp := total[1].Speedup; sp < 3.4 || sp > 4.0 {
+			t.Errorf("PULPv3 4-core speed-up %.2f×; paper reports 3.73×", sp)
+		}
+		if sp := total[4].Speedup; sp < 16 || sp > 22 {
+			t.Errorf("Wolf 8-core built-in speed-up %.2f×; paper reports 18.38×", sp)
+		}
+	})
+
+	t.Run("fig5", func(t *testing.T) {
+		r := experiments.Fig5(p)
+		lastOK := 0
+		for _, row := range r.Rows {
+			if row.M4MeetsBudget {
+				lastOK = row.Channels
+			}
+		}
+		if lastOK != 16 {
+			t.Errorf("M4 last feasible channel count %d; paper reports 16", lastOK)
+		}
+	})
+
+	t.Run("dimsweep", func(t *testing.T) {
+		r := experiments.DimSweep(p, []int{10000, 200, 100})
+		if r.Mean[0]-r.Mean[1] > 0.05 {
+			t.Errorf("200-D dropped %.3f below 10,000-D; paper says it closely holds", r.Mean[0]-r.Mean[1])
+		}
+		if r.Mean[2] >= r.Mean[1] {
+			t.Errorf("100-D (%.3f) should fall below 200-D (%.3f)", r.Mean[2], r.Mean[1])
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 
 	"pulphd/internal/baselines"
 	"pulphd/internal/hdc"
+	"pulphd/internal/parallel"
 	"pulphd/internal/svm"
 )
 
@@ -49,6 +50,28 @@ func trainHD(sub PreparedSubject, cfg hdc.Config) *hdc.Classifier {
 	return c
 }
 
+// hdTestAccuracy scores an HD classifier over the test windows with
+// the batched inference engine — the EMG configurations are
+// single-N-gram, so the batch path is bit-identical to per-window
+// Predict and the score is exactly the serial one.
+func hdTestAccuracy(hd *hdc.Classifier, pool *parallel.Pool, test []LabeledWindow) float64 {
+	if len(test) == 0 {
+		panic("experiments: no windows to score")
+	}
+	windows := make([][][]float64, len(test))
+	for i, w := range test {
+		windows[i] = w.Window
+	}
+	preds := hd.Batch(pool).ClassifyBatch(windows)
+	correct := 0
+	for i, p := range preds {
+		if p.Label == test[i].Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test))
+}
+
 // trainSubjectSVM fits the SVM baseline on one subject's features.
 func trainSubjectSVM(sub PreparedSubject) (*svm.Model, error) {
 	features := make([][]float64, len(sub.Train))
@@ -74,14 +97,13 @@ func trainMatrix(sub PreparedSubject) ([][]float64, []string) {
 // algorithm at hypervector dimension d.
 func Accuracy(p *Prepared, d int) (*AccuracyResult, error) {
 	res := &AccuracyResult{D: d, MinSVs: 1 << 30}
+	pool := parallel.NewPool(0)
+	defer pool.Close()
 	for _, sub := range p.Subjects {
 		sa := SubjectAccuracy{Subject: sub.Subject}
 
 		hd := trainHD(sub, hdConfigFor(p, d))
-		sa.HD = accuracyOf(func(w LabeledWindow) string {
-			l, _ := hd.Predict(w.Window)
-			return l
-		}, sub.Test)
+		sa.HD = hdTestAccuracy(hd, pool, sub.Test)
 
 		sm, err := trainSubjectSVM(sub)
 		if err != nil {
@@ -149,14 +171,13 @@ type DimSweepResult struct {
 // dimensionalities.
 func DimSweep(p *Prepared, dims []int) *DimSweepResult {
 	res := &DimSweepResult{Dims: dims}
+	pool := parallel.NewPool(0)
+	defer pool.Close()
 	for _, d := range dims {
 		var mean float64
 		for _, sub := range p.Subjects {
 			hd := trainHD(sub, hdConfigFor(p, d))
-			mean += accuracyOf(func(w LabeledWindow) string {
-				l, _ := hd.Predict(w.Window)
-				return l
-			}, sub.Test)
+			mean += hdTestAccuracy(hd, pool, sub.Test)
 		}
 		res.Mean = append(res.Mean, mean/float64(len(p.Subjects)))
 	}

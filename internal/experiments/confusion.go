@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"sort"
+
+	"pulphd/internal/parallel"
 )
 
 // ConfusionResult is the aggregated confusion matrix of the HD
@@ -43,11 +45,18 @@ func Confusion(p *Prepared, d int) *ConfusionResult {
 	for i := range counts {
 		counts[i] = make([]int, len(labels))
 	}
+	pool := parallel.NewPool(0)
+	defer pool.Close()
 	for _, sub := range p.Subjects {
 		hd := trainHD(sub, hdConfigFor(p, d))
-		for _, w := range sub.Test {
-			got, _ := hd.Predict(w.Window)
-			counts[idx[w.Label]][idx[got]]++
+		windows := make([][][]float64, len(sub.Test))
+		for i, w := range sub.Test {
+			windows[i] = w.Window
+		}
+		// Single-N-gram config: the batched predictions are
+		// bit-identical to per-window Predict.
+		for i, pr := range hd.Batch(pool).ClassifyBatch(windows) {
+			counts[idx[sub.Test[i].Label]][idx[pr.Label]]++
 		}
 	}
 	return &ConfusionResult{D: d, Labels: labels, Counts: counts}

@@ -148,12 +148,22 @@ func (am *AssociativeMemory) Nearest(query hv.Vector) (index, distance int) {
 // Distances returns the Hamming distance from query to every
 // prototype, in class-index order.
 func (am *AssociativeMemory) Distances(query hv.Vector) []int {
+	return am.DistancesTo(nil, query)
+}
+
+// DistancesTo is Distances writing into dst, growing it only when its
+// capacity is short — callers on the hot path pass the same buffer
+// back in and reach a steady state with no allocation.
+func (am *AssociativeMemory) DistancesTo(dst []int, query hv.Vector) []int {
 	am.refresh()
-	out := make([]int, len(am.prototypes))
-	for i, p := range am.prototypes {
-		out[i] = hv.Hamming(query, p)
+	if cap(dst) < len(am.prototypes) {
+		dst = make([]int, len(am.prototypes))
 	}
-	return out
+	dst = dst[:len(am.prototypes)]
+	for i, p := range am.prototypes {
+		dst[i] = hv.Hamming(query, p)
+	}
+	return dst
 }
 
 // InjectFaults flips n random components in every stored prototype,

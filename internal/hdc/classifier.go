@@ -87,6 +87,7 @@ type Classifier struct {
 	spatialSeq []hv.Vector
 	ngram      hv.Vector
 	bundle     *hv.Bundler
+	query      hv.Vector
 }
 
 // New builds a classifier from cfg, generating the item memories
@@ -103,6 +104,7 @@ func New(cfg Config) (*Classifier, error) {
 		rng:    rand.New(rand.NewSource(cfg.Seed + 3)),
 		ngram:  hv.New(cfg.D),
 		bundle: hv.NewBundler(cfg.D),
+		query:  hv.New(cfg.D),
 	}
 	c.spatial = NewSpatialEncoder(c.im, c.cim)
 	c.temporal = NewTemporalEncoder(cfg.D, cfg.NGram)
@@ -141,9 +143,22 @@ func (c *Classifier) AM() *AssociativeMemory { return c.am }
 // spatially encoded, consecutive N-grams are formed, and all N-grams
 // of the window are bundled by componentwise majority.
 func (c *Classifier) EncodeWindow(window [][]float64) hv.Vector {
+	out := hv.New(c.cfg.D)
+	c.EncodeWindowTo(out, window)
+	return out
+}
+
+// EncodeWindowTo is EncodeWindow without the allocation: the query is
+// encoded straight into dst, which must have the classifier's
+// dimensionality. The rng stream (majority tie-breaking for even
+// N-gram counts) advances exactly as in EncodeWindow.
+func (c *Classifier) EncodeWindowTo(dst hv.Vector, window [][]float64) {
 	n := c.cfg.NGram
 	if len(window) < n {
 		panic(fmt.Sprintf("hdc: EncodeWindow: window of %d samples shorter than N-gram %d", len(window), n))
+	}
+	if dst.Dim() != c.cfg.D {
+		panic(fmt.Sprintf("hdc: EncodeWindowTo: dimension mismatch %d != %d", dst.Dim(), c.cfg.D))
 	}
 	// Spatial encoding per timestamp.
 	seq := c.spatialSeq
@@ -162,15 +177,15 @@ func (c *Classifier) EncodeWindow(window [][]float64) hv.Vector {
 	// Temporal encoding: one N-gram per window position.
 	numGrams := len(window) - n + 1
 	if numGrams == 1 {
-		c.temporal.EncodeTo(c.ngram, seq)
-		return c.ngram.Clone()
+		c.temporal.EncodeTo(dst, seq)
+		return
 	}
 	c.bundle.Reset()
 	for t := 0; t < numGrams; t++ {
 		c.temporal.EncodeTo(c.ngram, seq[t:t+n])
 		c.bundle.Add(c.ngram)
 	}
-	return c.bundle.Vector(c.rng)
+	c.bundle.VectorTo(dst, c.rng)
 }
 
 // Train folds one labelled window into the class prototype. "For a
@@ -182,9 +197,13 @@ func (c *Classifier) Train(label string, window [][]float64) {
 }
 
 // Predict classifies one window and returns the winning label with
-// its Hamming distance.
+// its Hamming distance. In steady state (no training since the last
+// call) the whole path — spatial bind/majority, N-gram, bundling, AM
+// search — reuses classifier-owned scratch and performs no heap
+// allocation.
 func (c *Classifier) Predict(window [][]float64) (label string, distance int) {
-	return c.am.Classify(c.EncodeWindow(window))
+	c.EncodeWindowTo(c.query, window)
+	return c.am.Classify(c.query)
 }
 
 // MemoryFootprint describes the classifier's storage requirement in
@@ -249,6 +268,7 @@ func (c *Classifier) Truncated(d int) (*Classifier, error) {
 		rng:    rand.New(rand.NewSource(cfg.Seed + 3)),
 		ngram:  hv.New(d),
 		bundle: hv.NewBundler(d),
+		query:  hv.New(d),
 	}
 	out.spatial = NewSpatialEncoder(out.im, out.cim)
 	out.temporal = NewTemporalEncoder(d, cfg.NGram)

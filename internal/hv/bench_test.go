@@ -1,0 +1,165 @@
+package hv
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the word64 fast-path kernels at the paper's
+// 10,000-D operating point (313 packed words). These are the targets
+// the bench-regression harness (scripts/bench.sh) locks in.
+
+func benchVecs(n int) []Vector {
+	rng := rand.New(rand.NewSource(1))
+	vs := make([]Vector, n)
+	for i := range vs {
+		vs[i] = NewRandom(10000, rng)
+	}
+	return vs
+}
+
+func BenchmarkXor(b *testing.B) {
+	vs := benchVecs(2)
+	dst := New(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		XorTo(dst, vs[0], vs[1])
+	}
+}
+
+func BenchmarkHamming(b *testing.B) {
+	vs := benchVecs(2)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += Hamming(vs[0], vs[1])
+	}
+	_ = sink
+}
+
+func BenchmarkCountOnes(b *testing.B) {
+	vs := benchVecs(1)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += vs[0].CountOnes()
+	}
+	_ = sink
+}
+
+func BenchmarkMajority(b *testing.B) {
+	vs := benchVecs(5)
+	dst := New(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MajorityTo(dst, vs)
+	}
+}
+
+func BenchmarkBundlerAdd(b *testing.B) {
+	vs := benchVecs(1)
+	bd := NewBundler(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bd.Add(vs[0])
+	}
+}
+
+// --- pre-fast-path reference loops, kept so the speedup of the word64
+// kernels is measured inside one benchmark run (machine-state
+// independent); the fast paths must stay ≥2× below these on 10,000-D.
+
+func hammingRef(a, b Vector) int {
+	checkSameDim("Hamming", a, b)
+	n := 0
+	for i := range a.words {
+		n += bits.OnesCount32(a.words[i] ^ b.words[i])
+	}
+	return n
+}
+
+func BenchmarkHammingRef(b *testing.B) {
+	vs := benchVecs(2)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += hammingRef(vs[0], vs[1])
+	}
+	_ = sink
+}
+
+func majorityRef(dst Vector, set []Vector) {
+	n := len(set)
+	threshold := n / 2
+	nplanes := bits.Len(uint(n))
+	planes := make([]uint32, nplanes)
+	for j := range dst.words {
+		for b := range planes {
+			planes[b] = 0
+		}
+		for _, v := range set {
+			carry := v.words[j]
+			for b := 0; b < nplanes && carry != 0; b++ {
+				planes[b], carry = planes[b]^carry, planes[b]&carry
+			}
+		}
+		var gt uint32
+		eq := ^uint32(0)
+		for b := nplanes - 1; b >= 0; b-- {
+			tb := uint32(0)
+			if uint32(threshold)&(1<<uint(b)) != 0 {
+				tb = ^uint32(0)
+			}
+			gt |= eq & planes[b] &^ tb
+			eq &= ^(planes[b] ^ tb)
+		}
+		dst.words[j] = gt
+	}
+	dst.maskTail()
+}
+
+func BenchmarkMajorityRef(b *testing.B) {
+	vs := benchVecs(5)
+	dst := New(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		majorityRef(dst, vs)
+	}
+}
+
+func bundlerAddRef(counts []int32, v Vector) {
+	for i := 0; i < v.d; i += WordBits {
+		w := v.words[i/WordBits]
+		end := i + WordBits
+		if end > v.d {
+			end = v.d
+		}
+		for j := i; j < end; j++ {
+			counts[j] += int32(w & 1)
+			w >>= 1
+		}
+	}
+}
+
+func BenchmarkBundlerAddRef(b *testing.B) {
+	vs := benchVecs(1)
+	counts := make([]int32, 10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bundlerAddRef(counts, vs[0])
+	}
+}
+
+func BenchmarkBundlerVectorTo(b *testing.B) {
+	vs := benchVecs(7)
+	bd := NewBundler(10000)
+	for _, v := range vs {
+		bd.Add(v)
+	}
+	dst := New(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bd.VectorTo(dst, nil)
+	}
+}

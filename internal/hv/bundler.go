@@ -2,6 +2,7 @@ package hv
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -12,11 +13,23 @@ import (
 // (DAC'18, §2.1.1). Thresholding at half the number of additions gives
 // the componentwise majority.
 //
+// The per-component counters are kept in bit-sliced form: plane b
+// holds bit b of every counter, packed 64 components per word. Adding
+// a vector is then a word-parallel ripple-carry increment — a couple
+// of bitwise operations per 64 components on average — instead of the
+// per-bit counter walk a flat counter array needs. Planes grow on
+// demand, so the counts stay exact for any number of additions.
+//
 // The zero value is not usable; call NewBundler.
 type Bundler struct {
-	d      int
-	counts []int32
-	n      int
+	d    int
+	nw   int // packed uint32 words per vector
+	nw64 int // uint64 words per plane
+	n    int
+	// planes[b] holds bit b of the per-component counts.
+	planes [][]uint64
+	// scratch stages one input vector in uint64 words.
+	scratch []uint64
 }
 
 // NewBundler returns an empty accumulator for d-dimensional vectors.
@@ -24,7 +37,9 @@ func NewBundler(d int) *Bundler {
 	if d <= 0 {
 		panic(fmt.Sprintf("hv: NewBundler: dimension must be positive, got %d", d))
 	}
-	return &Bundler{d: d, counts: make([]int32, d)}
+	nw := WordsFor(d)
+	nw64 := (nw + 1) / 2
+	return &Bundler{d: d, nw: nw, nw64: nw64, scratch: make([]uint64, nw64)}
 }
 
 // Dim returns the dimensionality of the accumulated vectors.
@@ -38,18 +53,15 @@ func (b *Bundler) Add(v Vector) {
 	if v.d != b.d {
 		panic(fmt.Sprintf("hv: Bundler.Add: dimension mismatch %d != %d", v.d, b.d))
 	}
-	for i := 0; i < b.d; i += WordBits {
-		w := v.words[i/WordBits]
-		end := i + WordBits
-		if end > b.d {
-			end = b.d
-		}
-		for j := i; j < end; j++ {
-			b.counts[j] += int32(w & 1)
-			w >>= 1
-		}
+	ws := v.words
+	j := 0
+	for ; j+1 < len(ws); j += 2 {
+		b.scratch[j>>1] = pair64(ws[j], ws[j+1])
 	}
-	b.n++
+	if j < len(ws) {
+		b.scratch[j>>1] = uint64(ws[j])
+	}
+	b.addScratch()
 }
 
 // AddBits accumulates an unpacked vector (one byte per component).
@@ -57,18 +69,39 @@ func (b *Bundler) AddBits(bits []byte) {
 	if len(bits) != b.d {
 		panic(fmt.Sprintf("hv: Bundler.AddBits: dimension mismatch %d != %d", len(bits), b.d))
 	}
+	for j := range b.scratch {
+		b.scratch[j] = 0
+	}
 	for i, x := range bits {
 		if x != 0 {
-			b.counts[i]++
+			b.scratch[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	b.addScratch()
+}
+
+// addScratch folds the staged vector into the count planes with a
+// word-parallel ripple-carry add, growing the plane stack when the
+// new maximum count needs one more binary digit.
+func (b *Bundler) addScratch() {
+	if need := bits.Len(uint(b.n + 1)); need > len(b.planes) {
+		b.planes = append(b.planes, make([]uint64, b.nw64))
+	}
+	for j, carry := range b.scratch {
+		for p := 0; carry != 0; p++ {
+			plane := b.planes[p]
+			plane[j], carry = plane[j]^carry, plane[j]&carry
 		}
 	}
 	b.n++
 }
 
-// Reset clears the accumulator.
+// Reset clears the accumulator, retaining the allocated planes.
 func (b *Bundler) Reset() {
-	for i := range b.counts {
-		b.counts[i] = 0
+	for _, plane := range b.planes {
+		for j := range plane {
+			plane[j] = 0
+		}
 	}
 	b.n = 0
 }
@@ -81,18 +114,43 @@ func (b *Bundler) Reset() {
 //
 // Vector panics if nothing has been added.
 func (b *Bundler) Vector(rng *rand.Rand) Vector {
+	out := New(b.d)
+	b.VectorTo(out, rng)
+	return out
+}
+
+// VectorTo is Vector without the allocation: it thresholds into dst,
+// which must have the bundler's dimensionality. Ties consume one coin
+// flip per tied component in ascending component order, so the rng
+// stream matches Vector exactly.
+func (b *Bundler) VectorTo(dst Vector, rng *rand.Rand) {
 	if b.n == 0 {
 		panic("hv: Bundler.Vector: no vectors added")
 	}
-	out := New(b.d)
-	half2 := int32(b.n) // compare 2*count against n to avoid rounding
-	for i, c := range b.counts {
-		switch {
-		case 2*c > half2:
-			out.setBitUnchecked(i, 1)
-		case 2*c == half2 && rng != nil && rng.Intn(2) == 1:
-			out.setBitUnchecked(i, 1)
+	if dst.d != b.d {
+		panic(fmt.Sprintf("hv: Bundler.VectorTo: dimension mismatch %d != %d", dst.d, b.d))
+	}
+	threshold := uint64(b.n / 2)
+	ties := b.n%2 == 0 && rng != nil
+	var colbuf [64]uint64
+	col := colbuf[:len(b.planes)]
+	for j := 0; j < b.nw64; j++ {
+		for p, plane := range b.planes {
+			col[p] = plane[j]
+		}
+		gt, eq := compare64(col, threshold)
+		if ties {
+			// A position beyond the dimension holds count 0 < n/2, so
+			// eq can never reach into the masked tail.
+			for m := eq; m != 0; m &= m - 1 {
+				if rng.Intn(2) == 1 {
+					gt |= 1 << uint(bits.TrailingZeros64(m))
+				}
+			}
+		}
+		dst.words[2*j] = uint32(gt)
+		if 2*j+1 < b.nw {
+			dst.words[2*j+1] = uint32(gt >> 32)
 		}
 	}
-	return out
 }

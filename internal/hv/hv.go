@@ -187,9 +187,7 @@ func checkSameDim(op string, a, b Vector) {
 func Xor(a, b Vector) Vector {
 	checkSameDim("Xor", a, b)
 	out := New(a.d)
-	for i := range out.words {
-		out.words[i] = a.words[i] ^ b.words[i]
-	}
+	XorWords(out.words, a.words, b.words)
 	return out
 }
 
@@ -198,9 +196,7 @@ func Xor(a, b Vector) Vector {
 func XorTo(dst, a, b Vector) {
 	checkSameDim("XorTo", a, b)
 	checkSameDim("XorTo", dst, a)
-	for i := range dst.words {
-		dst.words[i] = a.words[i] ^ b.words[i]
-	}
+	XorWords(dst.words, a.words, b.words)
 }
 
 // Equal reports whether a and b have identical dimension and components.
@@ -220,11 +216,7 @@ func Equal(a, b Vector) bool {
 // the similarity measure of binary HD computing.
 func Hamming(a, b Vector) int {
 	checkSameDim("Hamming", a, b)
-	n := 0
-	for i := range a.words {
-		n += bits.OnesCount32(a.words[i] ^ b.words[i])
-	}
-	return n
+	return HammingWords(a.words, b.words)
 }
 
 // NormalizedHamming returns Hamming(a,b)/d in [0,1]. Unrelated random
@@ -235,11 +227,7 @@ func NormalizedHamming(a, b Vector) float64 {
 
 // CountOnes returns the number of components set to 1.
 func (v Vector) CountOnes() int {
-	n := 0
-	for _, w := range v.words {
-		n += bits.OnesCount32(w)
-	}
-	return n
+	return CountOnesWords(v.words)
 }
 
 // Density returns the fraction of components set to 1.
@@ -364,51 +352,38 @@ func Majority(vs ...Vector) Vector {
 //
 // The counting is word-parallel: the per-position sums are maintained
 // in bit-sliced form (one "plane" per binary digit of the count) so
-// each input word is folded in with a handful of full-adder bitwise
-// operations instead of 32 per-bit extractions. This mirrors how the
-// packed representation "naturally exploits data level parallelism
-// with bitwise operations" (DAC'18, §1).
+// each input word pair is folded in with a handful of 64-bit
+// full-adder operations instead of per-bit extractions. This mirrors
+// how the packed representation "naturally exploits data level
+// parallelism with bitwise operations" (DAC'18, §1); see swar.go for
+// the shared word64 kernel.
 func MajorityTo(dst Vector, set []Vector) {
 	if len(set) == 0 {
 		panic("hv: MajorityTo of no vectors")
 	}
 	checkSameDim("MajorityTo", dst, set[0])
 	n := len(set)
-	threshold := n / 2 // strictly-greater-than test below
-	// planes[b] holds bit b of the running per-position count.
+	threshold := uint32(n / 2) // strictly-greater-than test
 	nplanes := bits.Len(uint(n))
-	planes := make([]uint32, nplanes)
-	for j := range dst.words {
-		for b := range planes {
-			planes[b] = 0
-		}
-		for _, v := range set {
-			carry := v.words[j]
-			for b := 0; b < nplanes && carry != 0; b++ {
-				planes[b], carry = planes[b]^carry, planes[b]&carry
-			}
-		}
-		// A position is 1 in the output when its count > threshold.
-		dst.words[j] = greaterThan(planes, uint32(threshold))
+	// Stack scratch for the common small set sizes; MajorityWords does
+	// not retain either slice, so escape analysis keeps these local.
+	var pbuf [16]uint64
+	planes := pbuf[:]
+	if nplanes > len(pbuf) {
+		planes = make([]uint64, nplanes)
+	} else {
+		planes = pbuf[:nplanes]
 	}
+	var wbuf [32][]uint32
+	words := wbuf[:0]
+	if n > len(wbuf) {
+		words = make([][]uint32, 0, n)
+	}
+	for _, v := range set {
+		words = append(words, v.words)
+	}
+	MajorityWords(dst.words, words, threshold, planes)
 	dst.maskTail()
-}
-
-// greaterThan returns, positionwise, whether the bit-sliced counts in
-// planes exceed the constant t. Evaluated MSB-first: gt becomes 1 at
-// the first plane where count has a 1 and t a 0, while still tied.
-func greaterThan(planes []uint32, t uint32) uint32 {
-	var gt uint32    // positions already decided greater
-	eq := ^uint32(0) // positions still tied
-	for b := len(planes) - 1; b >= 0; b-- {
-		tb := uint32(0)
-		if t&(1<<uint(b)) != 0 {
-			tb = ^uint32(0)
-		}
-		gt |= eq & planes[b] &^ tb
-		eq &= ^(planes[b] ^ tb)
-	}
-	return gt
 }
 
 // String renders a short diagnostic form: dimension, density and the

@@ -290,22 +290,33 @@ func TestMajoritySimilarity(t *testing.T) {
 
 func TestGreaterThan(t *testing.T) {
 	// Exhaustive check of the bit-sliced comparator for counts 0..7
-	// against thresholds 0..7.
-	for count := uint32(0); count < 8; count++ {
-		for th := uint32(0); th < 8; th++ {
-			planes := []uint32{0, 0, 0}
+	// against thresholds 0..7, including the equality mask.
+	for count := uint64(0); count < 8; count++ {
+		for th := uint64(0); th < 8; th++ {
+			planes := []uint64{0, 0, 0}
 			for b := 0; b < 3; b++ {
 				if count&(1<<uint(b)) != 0 {
-					planes[b] = ^uint32(0)
+					planes[b] = ^uint64(0)
 				}
 			}
-			got := greaterThan(planes, th) & 1
-			want := uint32(0)
+			got := greaterThan64(planes, th) & 1
+			want := uint64(0)
 			if count > th {
 				want = 1
 			}
 			if got != want {
-				t.Fatalf("greaterThan(count=%d, t=%d) = %d, want %d", count, th, got, want)
+				t.Fatalf("greaterThan64(count=%d, t=%d) = %d, want %d", count, th, got, want)
+			}
+			gt, eq := compare64(planes, th)
+			if gt&1 != want {
+				t.Fatalf("compare64(count=%d, t=%d) gt = %d, want %d", count, th, gt&1, want)
+			}
+			wantEq := uint64(0)
+			if count == th {
+				wantEq = 1
+			}
+			if eq&1 != wantEq {
+				t.Fatalf("compare64(count=%d, t=%d) eq = %d, want %d", count, th, eq&1, wantEq)
 			}
 		}
 	}

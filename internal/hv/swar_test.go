@@ -1,0 +1,136 @@
+package hv
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// swarDims exercises the word64 fast paths at every interesting shape:
+// below one uint64 (scalar only), odd word counts (uint64 view plus a
+// trailing uint32), non-word-aligned dimensions (masked tails), the
+// unroll boundary, and the paper's 10,000-D operating point.
+var swarDims = []int{8, 31, 32, 33, 63, 64, 65, 96, 127, 128, 129, 255, 256, 257, 1000, 2048, 4096, 9999, 10000}
+
+func randWords(n int, rng *rand.Rand) []uint32 {
+	ws := make([]uint32, n)
+	for i := range ws {
+		ws[i] = rng.Uint32()
+	}
+	return ws
+}
+
+func TestSwarKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range swarDims {
+		nw := WordsFor(d)
+		// offset 0 takes the aligned uint64 view; offset 1 starts on an
+		// odd uint32 and must fall back to composing pairs.
+		for _, off := range []int{0, 1} {
+			if nw <= off {
+				continue
+			}
+			back := func() []uint32 { return randWords(nw+off, rng)[off:] }
+			a, b := back(), back()
+			n := len(a)
+
+			wantHam := 0
+			for i := range a {
+				wantHam += bits.OnesCount32(a[i] ^ b[i])
+			}
+			if got := HammingWords(a, b); got != wantHam {
+				t.Errorf("d=%d off=%d: HammingWords=%d want %d", d, off, got, wantHam)
+			}
+
+			wantOnes := 0
+			for _, w := range a {
+				wantOnes += bits.OnesCount32(w)
+			}
+			if got := CountOnesWords(a); got != wantOnes {
+				t.Errorf("d=%d off=%d: CountOnesWords=%d want %d", d, off, got, wantOnes)
+			}
+
+			dst := make([]uint32, n)
+			XorWords(dst, a, b)
+			for i := range dst {
+				if dst[i] != a[i]^b[i] {
+					t.Fatalf("d=%d off=%d: XorWords word %d = %#x want %#x", d, off, i, dst[i], a[i]^b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSwarMajorityMatchesScalar cross-checks MajorityWords — both the
+// CSA-specialized odd sizes and the generic bit-sliced path — against
+// a per-bit counting loop, on aligned and misaligned inputs.
+func TestSwarMajorityMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, d := range []int{33, 64, 96, 127, 313, 1000, 10000} {
+		nw := (d + 31) / 32
+		for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 33} {
+			for _, off := range []int{0, 1} {
+				set := make([][]uint32, n)
+				for i := range set {
+					set[i] = randWords(nw+off, rng)[off:]
+				}
+				threshold := uint32(n / 2)
+				want := make([]uint32, nw)
+				for w := 0; w < nw; w++ {
+					var out uint32
+					for bit := 0; bit < 32; bit++ {
+						count := uint32(0)
+						for _, ws := range set {
+							count += ws[w] >> uint(bit) & 1
+						}
+						if count > threshold {
+							out |= 1 << uint(bit)
+						}
+					}
+					want[w] = out
+				}
+				dst := make([]uint32, nw)
+				planes := make([]uint64, bits.Len(uint(n)))
+				MajorityWords(dst, set, threshold, planes)
+				for w := range dst {
+					if dst[w] != want[w] {
+						t.Fatalf("d=%d n=%d off=%d: majority word %d = %#x want %#x", d, n, off, w, dst[w], want[w])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSwarHighDimMatchesWide spot-checks the packed kernels against
+// the byte-per-component view at 10,000-D, the scale the quick-check
+// suite (capped at 2048) never reaches.
+func TestSwarHighDimMatchesWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const d = 10000
+	a, b := NewRandom(d, rng), NewRandom(d, rng)
+	ab, bb := a.Bits(), b.Bits()
+	wantHam := 0
+	wantOnes := 0
+	for i := 0; i < d; i++ {
+		if ab[i] != bb[i] {
+			wantHam++
+		}
+		if ab[i] != 0 {
+			wantOnes++
+		}
+	}
+	if got := Hamming(a, b); got != wantHam {
+		t.Errorf("Hamming=%d want %d", got, wantHam)
+	}
+	if got := a.CountOnes(); got != wantOnes {
+		t.Errorf("CountOnes=%d want %d", got, wantOnes)
+	}
+	x := Xor(a, b)
+	xb := x.Bits()
+	for i := 0; i < d; i++ {
+		if xb[i] != ab[i]^bb[i] {
+			t.Fatalf("Xor bit %d = %d want %d", i, xb[i], ab[i]^bb[i])
+		}
+	}
+}

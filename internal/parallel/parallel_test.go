@@ -1,7 +1,9 @@
 package parallel
 
 import (
+	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"pulphd/internal/hv"
@@ -161,5 +163,134 @@ func TestPanicsOnMisuse(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+// TestHammingRepeatedNoRace hammers the per-worker partial slots —
+// under -race this proves the slot-per-worker merge (which replaced
+// the mutex) is properly ordered by the pool barrier.
+func TestHammingRepeatedNoRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a, b := hv.NewRandom(10000, rng), hv.NewRandom(10000, rng)
+	want := hv.Hamming(a, b)
+	p := NewPool(8)
+	defer p.Close()
+	for i := 0; i < 200; i++ {
+		if got := p.Hamming(a, b); got != want {
+			t.Fatalf("iteration %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+// TestPoolsAreIndependent runs collectives on separate pools from
+// separate goroutines; each pool owns its staging fields, so this is
+// race-free even though a single pool is not concurrency-safe.
+func TestPoolsAreIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b := hv.NewRandom(4096, rng), hv.NewRandom(4096, rng)
+	want := hv.Hamming(a, b)
+	errc := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			p := NewPool(3)
+			defer p.Close()
+			for i := 0; i < 50; i++ {
+				if got := p.Hamming(a, b); got != want {
+					errc <- fmt.Errorf("%d != %d", got, want)
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCloseFallsBackToSerial checks a closed pool still computes
+// correctly (on the caller's goroutine) and that Close is idempotent.
+func TestCloseFallsBackToSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a, b := hv.NewRandom(10000, rng), hv.NewRandom(10000, rng)
+	want := hv.Hamming(a, b)
+	p := NewPool(4)
+	if got := p.Hamming(a, b); got != want {
+		t.Fatalf("before close: %d != %d", got, want)
+	}
+	p.Close()
+	p.Close() // idempotent
+	if got := p.Hamming(a, b); got != want {
+		t.Fatalf("after close: %d != %d", got, want)
+	}
+	dst := hv.New(10000)
+	p.Xor(dst, a, b)
+	if !hv.Equal(dst, hv.Xor(a, b)) {
+		t.Fatal("after close: XOR deviates")
+	}
+}
+
+// TestForRangeWorkerSlots checks worker ids are dense in [0, active)
+// with the caller as id 0, and that the active count is honest.
+func TestForRangeWorkerSlots(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{1, 2, 7, 313, 1000} {
+		var hits [4]int64
+		seen := make([]int32, n)
+		active := p.ForRangeWorker(n, func(lo, hi, w int) {
+			atomic.AddInt64(&hits[w], 1)
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		if active < 1 || active > 4 {
+			t.Fatalf("n=%d: active=%d out of range", n, active)
+		}
+		for w := 0; w < active; w++ {
+			if atomic.LoadInt64(&hits[w]) != 1 {
+				t.Fatalf("n=%d: worker %d ran %d chunks", n, w, hits[w])
+			}
+		}
+		for w := active; w < 4; w++ {
+			if atomic.LoadInt64(&hits[w]) != 0 {
+				t.Fatalf("n=%d: inactive worker %d ran", n, w)
+			}
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// TestCollectivesAllocationFree pins the steady-state collectives at
+// zero allocations per call.
+func TestCollectivesAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b := hv.NewRandom(10000, rng), hv.NewRandom(10000, rng)
+	dst := hv.New(10000)
+	set := make([]hv.Vector, 5)
+	for i := range set {
+		set[i] = hv.NewRandom(10000, rng)
+	}
+	p := NewPool(4)
+	defer p.Close()
+	// Warm up the lazily-grown per-worker scratch.
+	p.Hamming(a, b)
+	p.Majority(dst, set)
+	p.AMSearch(a, set)
+	for name, f := range map[string]func(){
+		"Hamming":  func() { p.Hamming(a, b) },
+		"Xor":      func() { p.Xor(dst, a, b) },
+		"Majority": func() { p.Majority(dst, set) },
+		"AMSearch": func() { p.AMSearch(a, set) },
+	} {
+		if allocs := testing.AllocsPerRun(20, f); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
 	}
 }

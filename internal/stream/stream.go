@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"pulphd/internal/hdc"
+	"pulphd/internal/parallel"
 )
 
 // Config parameterizes the streaming front end.
@@ -60,6 +61,8 @@ type Classifier struct {
 	cfg Config
 
 	window   [][]float64 // last NGram samples, oldest first
+	bufs     [][]float64 // fixed ring backing the window samples
+	bufIdx   int
 	nSamples int
 	sinceCls int
 	recent   []string // ring of raw decisions
@@ -76,7 +79,11 @@ func New(cls *hdc.Classifier, cfg Config) (*Classifier, error) {
 		cls:    cls,
 		cfg:    cfg,
 		window: make([][]float64, 0, n),
+		bufs:   make([][]float64, n),
 		recent: make([]string, cfg.SmoothWindow),
+	}
+	for i := range s.bufs {
+		s.bufs[i] = make([]float64, cls.Config().Channels)
 	}
 	return s, nil
 }
@@ -84,61 +91,134 @@ func New(cls *hdc.Classifier, cfg Config) (*Classifier, error) {
 // Reset clears all streaming state (between trials/sessions).
 func (s *Classifier) Reset() {
 	s.window = s.window[:0]
+	s.bufIdx = 0
 	s.nSamples = 0
 	s.sinceCls = 0
 	s.recentN = 0
 }
 
-// Push feeds one time-aligned sample (one value per channel). When a
-// detection period completes and enough history exists for the N-gram
-// window, it returns the decision and true.
-func (s *Classifier) Push(sample []float64) (Decision, bool) {
+// pushSample copies sample into the rolling N-gram window and reports
+// whether this sample completes a detection period with enough
+// history to classify. The copy lands in a fixed ring of buffers — in
+// steady state the buffer being overwritten is exactly the sample
+// falling out of the window — so no allocation occurs per sample.
+func (s *Classifier) pushSample(sample []float64) bool {
 	if len(sample) != s.cls.Config().Channels {
 		panic(fmt.Sprintf("stream: Push: %d channels, want %d", len(sample), s.cls.Config().Channels))
 	}
 	n := s.cls.Config().NGram
-	cp := append([]float64(nil), sample...)
+	buf := s.bufs[s.bufIdx]
+	s.bufIdx = (s.bufIdx + 1) % len(s.bufs)
+	copy(buf, sample)
 	if len(s.window) == n {
 		copy(s.window, s.window[1:])
-		s.window[n-1] = cp
+		s.window[n-1] = buf
 	} else {
-		s.window = append(s.window, cp)
+		s.window = append(s.window, buf)
 	}
 	s.nSamples++
 	s.sinceCls++
 	if len(s.window) < n || s.sinceCls < s.cfg.DetectionStride {
-		return Decision{}, false
+		return false
 	}
 	s.sinceCls = 0
-	raw, dist := s.cls.Predict(s.window)
+	return true
+}
+
+// record folds one raw decision into the smoothing ring and builds the
+// emitted Decision.
+func (s *Classifier) record(raw string, dist, sampleIdx int) Decision {
 	s.recent[s.recentN%len(s.recent)] = raw
 	s.recentN++
 	return Decision{
 		Raw:      raw,
-		Smoothed: s.vote(raw),
+		Smoothed: s.vote(),
 		Distance: dist,
-		Sample:   s.nSamples - 1,
-	}, true
+		Sample:   sampleIdx,
+	}
 }
 
-// vote returns the modal label among the recent raw decisions,
-// breaking ties in favor of the newest decision.
-func (s *Classifier) vote(newest string) string {
+// Push feeds one time-aligned sample (one value per channel). When a
+// detection period completes and enough history exists for the N-gram
+// window, it returns the decision and true. In steady state Push
+// performs no heap allocation.
+func (s *Classifier) Push(sample []float64) (Decision, bool) {
+	if !s.pushSample(sample) {
+		return Decision{}, false
+	}
+	raw, dist := s.cls.Predict(s.window)
+	return s.record(raw, dist, s.nSamples-1), true
+}
+
+// vote returns the modal label among the recent raw decisions. Ties
+// resolve deterministically to the most recent among the tied labels:
+// the scan runs newest → oldest and a label only takes the lead with
+// a strictly greater count. The decision ring is small (the paper's
+// operating point smooths over 5), so the quadratic scan beats a map
+// — and allocates nothing.
+func (s *Classifier) vote() string {
 	n := s.recentN
 	if n > len(s.recent) {
 		n = len(s.recent)
 	}
-	counts := make(map[string]int, n)
+	var best string
+	bestN := 0
 	for i := 0; i < n; i++ {
-		counts[s.recent[i]]++
-	}
-	best, bestN := newest, counts[newest]
-	for label, c := range counts {
+		label := s.recent[(s.recentN-1-i)%len(s.recent)]
+		fresh := true
+		for j := 0; j < i; j++ {
+			if s.recent[(s.recentN-1-j)%len(s.recent)] == label {
+				fresh = false
+				break
+			}
+		}
+		if !fresh {
+			continue // counted at its most recent occurrence
+		}
+		c := 0
+		for j := i; j < n; j++ {
+			if s.recent[(s.recentN-1-j)%len(s.recent)] == label {
+				c++
+			}
+		}
 		if c > bestN {
 			best, bestN = label, c
 		}
 	}
 	return best
+}
+
+// Replay feeds a whole recorded session through the stream and
+// returns every decision, classifying the triggered windows in
+// parallel over pool with the batched inference engine. The
+// stride/window bookkeeping and the smoothing filter run exactly as
+// in a sample-by-sample Push loop, and for configurations whose
+// batch encoding is bit-identical to the serial one (N-gram of 1, or
+// an odd N-gram count per window — including the paper's EMG
+// operating point) the decisions match that loop exactly.
+func (s *Classifier) Replay(samples [][]float64, pool *parallel.Pool) []Decision {
+	var windows [][][]float64
+	var at []int
+	for _, sample := range samples {
+		if !s.pushSample(sample) {
+			continue
+		}
+		w := make([][]float64, len(s.window))
+		for i, row := range s.window {
+			w[i] = append([]float64(nil), row...)
+		}
+		windows = append(windows, w)
+		at = append(at, s.nSamples-1)
+	}
+	if len(windows) == 0 {
+		return nil
+	}
+	preds := s.cls.Batch(pool).PredictBatch(windows, nil)
+	out := make([]Decision, len(preds))
+	for i, p := range preds {
+		out[i] = s.record(p.Label, p.Distance, at[i])
+	}
+	return out
 }
 
 // Decisions returns how many decisions have been emitted.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pulphd/internal/hdc"
+	"pulphd/internal/parallel"
 )
 
 func trainedClassifier(t *testing.T, ngram int) *hdc.Classifier {
@@ -178,5 +179,123 @@ func TestPushDoesNotAliasCallerSlice(t *testing.T) {
 	}
 	if d.Raw != "a" {
 		t.Fatalf("stale aliased sample corrupted the window: got %q", d.Raw)
+	}
+}
+
+// TestVoteTieDeterministic pins the tie rule: when two labels tie in
+// the smoothing window, the one whose latest occurrence is more
+// recent wins — regardless of map-order luck.
+func TestVoteTieDeterministic(t *testing.T) {
+	s, err := New(trainedClassifier(t, 1), Config{DetectionStride: 1, SmoothWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-load the decision ring: b, a, b, a → 2:2 tie, "a" newest.
+	for _, raw := range []string{"b", "a", "b", "a"} {
+		s.recent[s.recentN%len(s.recent)] = raw
+		s.recentN++
+	}
+	for i := 0; i < 50; i++ {
+		if got := s.vote(); got != "a" {
+			t.Fatalf("iteration %d: tie resolved to %q, want most recent %q", i, got, "a")
+		}
+	}
+	// c, b, b, a: "b" outnumbers the newer "a".
+	s.recentN = 0
+	for _, raw := range []string{"c", "b", "b", "a"} {
+		s.recent[s.recentN%len(s.recent)] = raw
+		s.recentN++
+	}
+	if got := s.vote(); got != "b" {
+		t.Fatalf("majority ignored: got %q, want %q", got, "b")
+	}
+	// Tie between two non-newest labels: c, c, b, b, a with window 5 —
+	// "b" ties "c" and occurred more recently.
+	s2, err := New(trainedClassifier(t, 1), Config{DetectionStride: 1, SmoothWindow: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, raw := range []string{"c", "c", "b", "b", "a"} {
+		s2.recent[s2.recentN%len(s2.recent)] = raw
+		s2.recentN++
+	}
+	for i := 0; i < 50; i++ {
+		if got := s2.vote(); got != "b" {
+			t.Fatalf("iteration %d: non-newest tie resolved to %q, want %q", i, got, "b")
+		}
+	}
+}
+
+// TestPushAllocationFree pins the satellite: the per-sample copy goes
+// through the fixed buffer ring, so a steady-state Push (including
+// the classifications it triggers) allocates nothing.
+func TestPushAllocationFree(t *testing.T) {
+	s, err := New(trainedClassifier(t, 3), Config{DetectionStride: 1, SmoothWindow: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := []float64{16, 3, 8, 2}
+	for i := 0; i < 10; i++ {
+		s.Push(sample) // fill window, warm scratch, settle prototypes
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Push(sample)
+	})
+	if allocs != 0 {
+		t.Fatalf("Push: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestReplayMatchesPushLoop checks the batched session replay emits
+// exactly the decisions a sample-by-sample Push loop does, for both
+// single- and odd-multi-N-gram configurations and several worker
+// counts.
+func TestReplayMatchesPushLoop(t *testing.T) {
+	for _, ngram := range []int{1, 3} {
+		cls := trainedClassifier(t, ngram)
+		cfg := Config{DetectionStride: 2, SmoothWindow: 3}
+		rng := rand.New(rand.NewSource(7))
+		samples := make([][]float64, 120)
+		for i := range samples {
+			base := []float64{16, 3, 8, 2}
+			if i%3 == 0 {
+				base = []float64{3, 14, 2, 10}
+			}
+			row := make([]float64, 4)
+			for c := range row {
+				row[c] = base[c] + rng.NormFloat64()
+			}
+			samples[i] = row
+		}
+		ref, err := New(cls, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []Decision
+		for _, sample := range samples {
+			if d, ok := ref.Push(sample); ok {
+				want = append(want, d)
+			}
+		}
+		for _, workers := range []int{1, 2, 4} {
+			pool := parallel.NewPool(workers)
+			s, err := New(cls, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := s.Replay(samples, pool)
+			if len(got) != len(want) {
+				t.Fatalf("ngram=%d workers=%d: %d decisions, want %d", ngram, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("ngram=%d workers=%d decision %d: %+v != %+v", ngram, workers, i, got[i], want[i])
+				}
+			}
+			if s.Decisions() != ref.Decisions() {
+				t.Errorf("ngram=%d workers=%d: decision count %d != %d", ngram, workers, s.Decisions(), ref.Decisions())
+			}
+			pool.Close()
+		}
 	}
 }

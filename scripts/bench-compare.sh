@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Compares benchmarks/latest.txt against benchmarks/baseline.txt and
+# fails when any benchmark's median ns/op regressed by more than
+# BENCH_MAX_REGRESSION_PCT percent (default 25 — microbenchmarks on
+# shared machines are noisy; the gate is for order-of-magnitude
+# regressions like a lost fast path, not single-digit drift).
+#
+# Usage: scripts/bench-compare.sh [baseline] [latest]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-benchmarks/baseline.txt}"
+LATEST="${2:-benchmarks/latest.txt}"
+MAX_PCT="${BENCH_MAX_REGRESSION_PCT:-25}"
+
+if [ ! -f "$BASELINE" ]; then
+  echo "no baseline at $BASELINE — nothing to compare"
+  exit 0
+fi
+if [ ! -f "$LATEST" ]; then
+  echo "no latest run at $LATEST — run scripts/bench.sh first" >&2
+  exit 1
+fi
+
+# Median ns/op per benchmark name (strips the -N GOMAXPROCS suffix).
+medians() {
+  awk '/^Benchmark/ && /ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) if ($(i+1) == "ns/op") { v[name] = v[name] " " $i; break }
+  }
+  END {
+    for (name in v) {
+      n = split(substr(v[name], 2), a, " ")
+      asort_n(a, n)
+      m = (n % 2) ? a[(n+1)/2] : (a[n/2] + a[n/2+1]) / 2
+      printf "%s %.2f\n", name, m
+    }
+  }
+  function asort_n(arr, len,   i, j, tmp) {
+    for (i = 2; i <= len; i++) {
+      tmp = arr[i] + 0
+      for (j = i - 1; j >= 1 && arr[j] + 0 > tmp; j--) arr[j+1] = arr[j]
+      arr[j+1] = tmp
+    }
+  }' "$1"
+}
+
+fail=0
+while read -r name base; do
+  cur=$(medians "$LATEST" | awk -v n="$name" '$1 == n {print $2}')
+  if [ -z "$cur" ]; then
+    echo "MISSING  $name (in baseline, not in latest run)"
+    continue
+  fi
+  pct=$(awk -v b="$base" -v c="$cur" 'BEGIN {printf "%.1f", (c - b) / b * 100}')
+  over=$(awk -v p="$pct" -v m="$MAX_PCT" 'BEGIN {print (p > m) ? 1 : 0}')
+  if [ "$over" = 1 ]; then
+    echo "REGRESSED $name: ${base} -> ${cur} ns/op (+${pct}% > ${MAX_PCT}%)"
+    fail=1
+  else
+    echo "ok        $name: ${base} -> ${cur} ns/op (${pct}%)"
+  fi
+done < <(medians "$BASELINE")
+
+exit $fail

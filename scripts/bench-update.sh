@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Promotes benchmarks/latest.txt to the committed baseline after the
+# numbers have been reviewed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+if [ ! -f benchmarks/latest.txt ]; then
+  echo "benchmarks/latest.txt missing — run scripts/bench.sh first" >&2
+  exit 1
+fi
+cp benchmarks/latest.txt benchmarks/baseline.txt
+echo "promoted benchmarks/latest.txt -> benchmarks/baseline.txt"

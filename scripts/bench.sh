@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the kernel and inference micro-benchmarks and stores the result
+# in benchmarks/latest.txt for review / comparison against the
+# committed baseline.
+#
+# Usage: scripts/bench.sh [extra `go test` args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${BENCH_COUNT:-5}"
+OUT=benchmarks/latest.txt
+
+go test -run '^$' \
+  -bench 'BenchmarkXor$|BenchmarkHamming$|BenchmarkCountOnes$|BenchmarkMajority$|BenchmarkBundlerAdd$|BenchmarkBundlerVectorTo$' \
+  -benchmem -count "$COUNT" ./internal/hv/ "$@" | tee "$OUT"
+go test -run '^$' \
+  -bench 'BenchmarkPredict$|BenchmarkPredictBatch$' \
+  -benchmem -count "$COUNT" ./internal/hdc/ "$@" | tee -a "$OUT"
+go test -run '^$' \
+  -bench 'BenchmarkParallelAMSearch$|BenchmarkParallelMajority$' \
+  -benchmem -count "$COUNT" . "$@" | tee -a "$OUT"
+
+echo "wrote $OUT"

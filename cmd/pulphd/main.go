@@ -7,9 +7,13 @@
 // Usage:
 //
 //	pulphd [flags] <experiment>...
+//	pulphd trace [-o trace.json]
+//	pulphd serve [-metrics-addr host:port]
 //
 // Experiments: accuracy dimsweep table1 table2 table3 fig3 fig4 fig5
-// faults ablation all
+// faults ablation all. The trace subcommand replays the Table 2/3
+// kernel chains with a cycle tracer attached and can export Chrome
+// trace-event JSON; serve exposes the host runtime metrics over HTTP.
 package main
 
 import (
@@ -129,6 +133,16 @@ var order = []string{
 }
 
 func main() {
+	// Subcommands take over before flag parsing; everything else is
+	// the original experiment-runner interface.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			os.Exit(runTrace(os.Args[2:]))
+		case "serve":
+			os.Exit(runServe(os.Args[2:]))
+		}
+	}
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -188,6 +202,9 @@ func usage() {
 	for _, n := range names {
 		fmt.Fprintf(os.Stderr, "  %s\n", n)
 	}
-	fmt.Fprintf(os.Stderr, "  all\n\nflags:\n")
+	fmt.Fprintf(os.Stderr, "  all\n\nsubcommands:\n")
+	fmt.Fprintf(os.Stderr, "  trace  replay the Table 2/3 kernel chains with a cycle tracer (Chrome trace JSON)\n")
+	fmt.Fprintf(os.Stderr, "  serve  expose host runtime metrics over HTTP (/metrics, /debug/vars, /debug/pprof)\n")
+	fmt.Fprintf(os.Stderr, "\nflags:\n")
 	flag.PrintDefaults()
 }

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"pulphd/internal/emg"
+	"pulphd/internal/experiments"
+	"pulphd/internal/hdc"
+	"pulphd/internal/obs"
+	"pulphd/internal/parallel"
+	"pulphd/internal/stream"
+)
+
+// enableHostMetrics builds the canonical pulphd_* metric set and
+// installs it as the sink of every instrumented package. Until this
+// runs the instrumentation is disabled (nil sink) and free.
+func enableHostMetrics() *obs.HostMetrics {
+	h := obs.NewHostMetrics()
+	hdc.SetMetrics(h.Inference)
+	stream.SetMetrics(h.Stream)
+	parallel.SetMetrics(h.Pool)
+	h.Registry.PublishExpvar("pulphd_metrics")
+	return h
+}
+
+// newMetricsMux assembles the observability endpoints: Prometheus
+// text exposition at /metrics, the expvar JSON dump at /debug/vars,
+// and the pprof profiles under /debug/pprof/. A dedicated mux keeps
+// the handlers off http.DefaultServeMux, so importing net/http/pprof
+// here exposes nothing anywhere else.
+func newMetricsMux(h *obs.HostMetrics) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", h.Registry.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// demoWorkload trains the EMG classifier on one prepared subject and
+// loops the test session through the streaming front end — Push
+// sample by sample, then a batched Replay over the pool — so every
+// instrumented path exercises continuously while the server is up.
+func demoWorkload(p *experiments.Prepared, workers int, rounds int) error {
+	cls, err := hdc.New(hdc.EMGConfig())
+	if err != nil {
+		return err
+	}
+	subj := p.Subjects[0]
+	for _, w := range subj.Train {
+		cls.Train(w.Label, w.Window)
+	}
+	st, err := stream.New(cls, stream.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	session := make([][]float64, 0, len(subj.Test))
+	for _, w := range subj.Test {
+		session = append(session, w.Window[0])
+	}
+	for r := 0; rounds <= 0 || r < rounds; r++ {
+		st.Reset()
+		for _, sample := range session {
+			st.Push(sample)
+		}
+		st.Reset()
+		st.Replay(session, pool)
+	}
+	return nil
+}
+
+// runServe implements the "pulphd serve" subcommand: enable the host
+// metrics, expose them over HTTP, and (unless -demo=false) drive the
+// demo workload so the counters move.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("pulphd serve", flag.ExitOnError)
+	addr := fs.String("metrics-addr", "localhost:8099", "listen `address` for /metrics, /debug/vars and /debug/pprof")
+	demo := fs.Bool("demo", true, "continuously replay a synthetic EMG session so the metrics move")
+	workers := fs.Int("workers", 4, "worker-pool size for the demo workload's batched replay")
+	seed := fs.Int64("seed", 2018, "dataset generation seed")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pulphd serve [-metrics-addr host:port]\n\n")
+		fmt.Fprintf(os.Stderr, "Serves host runtime metrics: Prometheus text at /metrics, expvar\n")
+		fmt.Fprintf(os.Stderr, "JSON at /debug/vars, pprof at /debug/pprof/.\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	h := enableHostMetrics()
+	mux := newMetricsMux(h)
+
+	if *demo {
+		proto := emg.DefaultProtocol()
+		proto.Seed = *seed
+		proto.Subjects = 1
+		prepared := experiments.Prepare(proto, 1)
+		go func() {
+			for {
+				if err := demoWorkload(prepared, *workers, 1); err != nil {
+					fmt.Fprintf(os.Stderr, "pulphd serve: demo workload: %v\n", err)
+					return
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+		}()
+	}
+
+	fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof/)\n", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
+		return 1
+	}
+	return 0
+}

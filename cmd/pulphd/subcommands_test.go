@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pulphd/internal/emg"
+	"pulphd/internal/experiments"
+	"pulphd/internal/hdc"
+	"pulphd/internal/parallel"
+	"pulphd/internal/stream"
+)
+
+// silenceStdout redirects os.Stdout to /dev/null for the test's
+// duration, so subcommand summaries don't pollute the test log.
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+// TestTraceSubcommand drives "pulphd trace -o" end to end and parses
+// the exported file as Chrome trace-event JSON: the acceptance check
+// that the CLI artifact, not just the library writer, is loadable.
+func TestTraceSubcommand(t *testing.T) {
+	silenceStdout(t)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if code := runTrace([]string{"-o", path}); code != 0 {
+		t.Fatalf("runTrace exited %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Dur   int64          `json:"dur"`
+			Pid   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("degenerate trace: unit %q, %d events", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	platforms := map[string]bool{}
+	slices := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			if ev.Name == "process_name" {
+				platforms[ev.Args["name"].(string)] = true
+			}
+		case "X":
+			if ev.Dur <= 0 {
+				t.Fatalf("slice %q has non-positive duration %d", ev.Name, ev.Dur)
+			}
+			slices++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Phase)
+		}
+	}
+	if len(platforms) != len(experiments.TracePlatforms()) {
+		t.Fatalf("trace names %d platforms, want %d: %v",
+			len(platforms), len(experiments.TracePlatforms()), platforms)
+	}
+	if slices == 0 {
+		t.Fatal("no kernel slices in trace")
+	}
+}
+
+// TestServeEndpoints wires the host metrics exactly as "pulphd serve"
+// does, runs one round of the demo workload, and checks all three
+// endpoint families respond with moving numbers.
+func TestServeEndpoints(t *testing.T) {
+	h := enableHostMetrics()
+	t.Cleanup(func() {
+		hdc.SetMetrics(nil)
+		stream.SetMetrics(nil)
+		parallel.SetMetrics(nil)
+	})
+	proto := emg.DefaultProtocol()
+	proto.Subjects = 1
+	proto.Repetitions = 4
+	prepared := experiments.Prepare(proto, 1)
+	if err := demoWorkload(prepared, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(newMetricsMux(h))
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"pulphd_predict_total", "pulphd_stream_samples_total",
+		"pulphd_stream_replays_total 1", "pulphd_pool_collectives_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics lacks %q:\n%s", want, metrics)
+		}
+	}
+	if strings.Contains(metrics, "pulphd_predict_total 0\n") {
+		t.Error("demo workload left pulphd_predict_total at zero")
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if _, ok := vars["pulphd_metrics"]; !ok {
+		t.Error("/debug/vars lacks pulphd_metrics")
+	}
+
+	if out := get("/debug/pprof/"); !strings.Contains(out, "profile") {
+		t.Error("/debug/pprof/ index looks wrong")
+	}
+}

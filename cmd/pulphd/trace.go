@@ -1,0 +1,62 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pulphd/internal/emg"
+	"pulphd/internal/experiments"
+	"pulphd/internal/obs"
+)
+
+// runTrace implements the "pulphd trace" subcommand: replay the
+// Table 2/3 EMG kernel chains on every platform configuration with a
+// cycle tracer attached, print the per-kernel summary, and optionally
+// export a Chrome trace-event JSON file for chrome://tracing or
+// Perfetto.
+func runTrace(args []string) int {
+	fs := flag.NewFlagSet("pulphd trace", flag.ExitOnError)
+	out := fs.String("o", "", "write Chrome trace-event JSON to this `file` (load in chrome://tracing or ui.perfetto.dev)")
+	seed := fs.Int64("seed", 2018, "dataset generation seed")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pulphd trace [-o trace.json]\n\n")
+		fmt.Fprintf(os.Stderr, "Replays the paper's EMG classification chain (10,000-D, N=1, one\n")
+		fmt.Fprintf(os.Stderr, "detection period) on the Table 2/3 platforms and reports each\n")
+		fmt.Fprintf(os.Stderr, "kernel's cycle decomposition.\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	// The kernel chains run on synthetic windows; only the protocol's
+	// channel count matters, so no dataset is generated.
+	proto := emg.DefaultProtocol()
+	proto.Seed = *seed
+	prepared := &experiments.Prepared{Protocol: proto}
+
+	tr := obs.NewTrace()
+	experiments.TraceKernelChains(prepared, tr)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pulphd trace: %v\n", err)
+			return 1
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "pulphd trace: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pulphd trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d kernel events)\n", *out, tr.Len())
+	}
+	if err := tr.WriteSummary(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pulphd trace: %v\n", err)
+		return 1
+	}
+	return 0
+}

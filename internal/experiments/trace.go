@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"pulphd/internal/kernels"
+	"pulphd/internal/pulp"
+)
+
+// TracePlatforms returns the platform configurations the trace
+// harness runs: the union of the Table 2 and Table 3 columns, in
+// paper order.
+func TracePlatforms() []pulp.Platform {
+	return []pulp.Platform{
+		pulp.CortexM4Platform(),
+		pulp.PULPv3Platform(1),
+		pulp.PULPv3Platform(4),
+		pulp.WolfPlatform(1, false),
+		pulp.WolfPlatform(1, true),
+		pulp.WolfPlatform(8, true),
+	}
+}
+
+// TraceKernelChains replays the EMG classification chain of Tables 2
+// and 3 (10,000-D, N=1, one detection period) on every configuration
+// of TracePlatforms with tr attached, so each kernel's cycle
+// decomposition lands on the tracer's per-platform timelines. The
+// work is identical to what Table2/Table3 simulate; only the
+// observation differs.
+func TraceKernelChains(p *Prepared, tr pulp.Tracer) {
+	chain := kernels.SyntheticChain(10000, p.Protocol.Channels, 1, 5, 1)
+	_, work := chain.Classify(chain.SyntheticWindow(2))
+	for _, plat := range TracePlatforms() {
+		plat.Tracer = tr
+		plat.RunChain(work.Kernels())
+	}
+}

@@ -2,6 +2,7 @@ package hdc
 
 import (
 	"fmt"
+	"time"
 
 	"pulphd/internal/hv"
 	"pulphd/internal/parallel"
@@ -112,9 +113,16 @@ type BatchClassifier struct {
 
 // Batch returns a batched view of the classifier over pool. Contexts
 // are allocated once per pool worker; reuse the BatchClassifier
-// across calls to amortize them.
+// across calls to amortize them. A nil pool is allowed and degrades
+// to a serial loop over the windows — the same contract as a closed
+// pool's collectives, so callers without a pool handy (one-shot
+// replays, tests) need no special case.
 func (c *Classifier) Batch(pool *parallel.Pool) *BatchClassifier {
-	ctxs := make([]*batchCtx, pool.Workers())
+	workers := 1
+	if pool != nil {
+		workers = pool.Workers()
+	}
+	ctxs := make([]*batchCtx, workers)
 	for i := range ctxs {
 		ctxs[i] = newBatchCtx(c)
 	}
@@ -133,6 +141,16 @@ func (b *BatchClassifier) ClassifyBatch(windows [][][]float64) []Prediction {
 // each worker encodes and searches with private scratch, writing its
 // disjoint slice of out.
 func (b *BatchClassifier) PredictBatch(windows [][][]float64, out []Prediction) []Prediction {
+	if m := metrics(); m != nil {
+		start := time.Now()
+		out = b.predictBatch(windows, out)
+		m.RecordBatch(len(windows), b.pool == nil, time.Since(start))
+		return out
+	}
+	return b.predictBatch(windows, out)
+}
+
+func (b *BatchClassifier) predictBatch(windows [][][]float64, out []Prediction) []Prediction {
 	if cap(out) < len(windows) {
 		out = make([]Prediction, len(windows))
 	}
@@ -156,13 +174,18 @@ func (b *BatchClassifier) PredictBatch(windows [][][]float64, out []Prediction) 
 	// Threshold dirty prototypes once, serially; the workers then
 	// only read the AM.
 	am.refresh()
-	b.pool.ForRangeWorker(len(windows), func(lo, hi, worker int) {
+	classify := func(lo, hi, worker int) {
 		bc := b.ctxs[worker]
 		for i := lo; i < hi; i++ {
 			bc.encodeTo(bc.query, windows[i], n)
 			idx, dist := am.Nearest(bc.query)
 			out[i] = Prediction{Label: am.labels[idx], Distance: dist}
 		}
-	})
+	}
+	if b.pool == nil {
+		classify(0, len(windows), 0)
+		return out
+	}
+	b.pool.ForRangeWorker(len(windows), classify)
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"pulphd/internal/obs"
 	"pulphd/internal/parallel"
 )
 
@@ -129,6 +130,47 @@ func TestPredictBatchDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestBatchNilPoolMatchesSerial pins the nil-pool contract: Batch(nil)
+// must not panic and must fall back to the serial Predict loop,
+// bit-identical (label and Hamming distance) for the tie-free
+// configurations, matching the worker pool's own documented
+// serial-fallback behaviour.
+func TestBatchNilPoolMatchesSerial(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"emg-single-gram": EMGConfig(),
+		"odd-ngrams": func() Config {
+			cfg := EMGConfig()
+			cfg.D = 2000
+			cfg.NGram = 3
+			cfg.Window = 5
+			return cfg
+		}(),
+	} {
+		c, tests := trainedClassifier(t, cfg, 13)
+		want := make([]Prediction, len(tests))
+		for i, w := range tests {
+			label, dist := c.Predict(w)
+			want[i] = Prediction{Label: label, Distance: dist}
+		}
+		b := c.Batch(nil)
+		got := b.ClassifyBatch(tests)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s window %d: nil-pool batch %+v != serial %+v", name, i, got[i], want[i])
+			}
+		}
+		// The fallback must keep the steady-state contract too: reuse
+		// the output slice and handle the empty batch.
+		again := b.PredictBatch(tests, got)
+		if &again[0] != &got[0] {
+			t.Errorf("%s: nil-pool PredictBatch reallocated a sufficient output slice", name)
+		}
+		if res := b.PredictBatch(nil, nil); len(res) != 0 {
+			t.Errorf("%s: empty nil-pool batch returned %d predictions", name, len(res))
+		}
+	}
+}
+
 // TestPredictBatchReusesOutput checks the PredictBatch steady state:
 // a recycled output slice is not reallocated and results stay right.
 func TestPredictBatchReusesOutput(t *testing.T) {
@@ -187,6 +229,30 @@ func TestPredictAllocationFree(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("Predict: %v allocs per 4-window run, want 0", allocs)
 	}
+}
+
+// TestPredictAllocationFreeWithMetrics pins that the observability
+// instrumentation costs Predict nothing on the heap: zero allocations
+// per call whether the metrics sink is installed or not.
+func TestPredictAllocationFreeWithMetrics(t *testing.T) {
+	c, tests := trainedClassifier(t, EMGConfig(), 4)
+	c.Predict(tests[0])
+	for _, enabled := range []bool{false, true} {
+		if enabled {
+			SetMetrics(&obs.InferenceMetrics{})
+		} else {
+			SetMetrics(nil)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			for _, w := range tests {
+				c.Predict(w)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("metrics enabled=%v: Predict %v allocs per 4-window run, want 0", enabled, allocs)
+		}
+	}
+	SetMetrics(nil)
 }
 
 // TestDistancesToSteadyState pins the reusable AM distance buffer.

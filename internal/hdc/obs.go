@@ -1,0 +1,20 @@
+package hdc
+
+import (
+	"sync/atomic"
+
+	"pulphd/internal/obs"
+)
+
+// metricsPtr holds the package's inference metrics. The default nil
+// disables recording; the hot paths pay one atomic load and one
+// compare per call either way, and allocate nothing.
+var metricsPtr atomic.Pointer[obs.InferenceMetrics]
+
+// SetMetrics installs (or, with nil, removes) the metrics sink for
+// Predict and PredictBatch across the package. Safe to call at any
+// time, including while inference is running.
+func SetMetrics(m *obs.InferenceMetrics) { metricsPtr.Store(m) }
+
+// metrics returns the installed sink, nil when disabled.
+func metrics() *obs.InferenceMetrics { return metricsPtr.Load() }

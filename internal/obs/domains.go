@@ -1,0 +1,114 @@
+package obs
+
+import "time"
+
+// This file defines the domain metric bundles the host packages hang
+// their instrumentation on. Each bundle is installed with the
+// package's SetMetrics (hdc, stream, parallel); the default nil
+// pointer disables recording, and every method is nil-safe so the
+// instrumented call sites stay branchless beyond one compare.
+
+// InferenceMetrics instruments hdc.Predict and PredictBatch.
+type InferenceMetrics struct {
+	// Predicts counts Predict calls; PredictNanos is their latency.
+	Predicts     Counter
+	PredictNanos Histogram
+	// BatchCalls / BatchWindows count PredictBatch invocations and
+	// the windows they classified; BatchNanos is whole-call latency.
+	BatchCalls   Counter
+	BatchWindows Counter
+	BatchNanos   Histogram
+	// BatchSerialFallbacks counts batch calls that ran without a
+	// worker pool (nil pool — the serial fallback path).
+	BatchSerialFallbacks Counter
+}
+
+// RecordPredict folds one Predict call into the metrics.
+func (m *InferenceMetrics) RecordPredict(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Predicts.Inc()
+	m.PredictNanos.Observe(d)
+}
+
+// RecordBatch folds one PredictBatch call over n windows into the
+// metrics; serial marks the nil-pool fallback.
+func (m *InferenceMetrics) RecordBatch(n int, serial bool, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.BatchCalls.Inc()
+	m.BatchWindows.Add(int64(n))
+	m.BatchNanos.Observe(d)
+	if serial {
+		m.BatchSerialFallbacks.Inc()
+	}
+}
+
+// StreamMetrics instruments stream.Push and Replay.
+type StreamMetrics struct {
+	// Samples counts samples pushed (directly or via Replay);
+	// Decisions counts decisions emitted.
+	Samples   Counter
+	Decisions Counter
+	// Replays counts Replay calls; ReplayNanos is their latency.
+	Replays     Counter
+	ReplayNanos Histogram
+}
+
+// RecordSample counts one pushed sample.
+func (m *StreamMetrics) RecordSample() {
+	if m == nil {
+		return
+	}
+	m.Samples.Inc()
+}
+
+// RecordDecision counts one emitted decision.
+func (m *StreamMetrics) RecordDecision() {
+	if m == nil {
+		return
+	}
+	m.Decisions.Inc()
+}
+
+// RecordReplay folds one Replay call (samples consumed, decisions
+// emitted, wall time) into the metrics.
+func (m *StreamMetrics) RecordReplay(samples, decisions int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Replays.Inc()
+	m.Samples.Add(int64(samples))
+	m.Decisions.Add(int64(decisions))
+	m.ReplayNanos.Observe(d)
+}
+
+// PoolMetrics instruments parallel.Pool collectives.
+type PoolMetrics struct {
+	// Collectives counts collective calls; Tasks counts the chunks
+	// they actually dispatched (including the caller's chunk 0) and
+	// Slots the chunks they could have dispatched (pool width), so
+	// Tasks/Slots is the mean worker utilization.
+	Collectives Counter
+	Tasks       Counter
+	Slots       Counter
+	// SerialFallbacks counts collectives that ran entirely on the
+	// calling goroutine (single chunk, or a closed pool).
+	SerialFallbacks Counter
+}
+
+// RecordCollective folds one collective that ran active of workers
+// possible chunks into the metrics.
+func (m *PoolMetrics) RecordCollective(active, workers int) {
+	if m == nil {
+		return
+	}
+	m.Collectives.Inc()
+	m.Tasks.Add(int64(active))
+	m.Slots.Add(int64(workers))
+	if active <= 1 {
+		m.SerialFallbacks.Inc()
+	}
+}

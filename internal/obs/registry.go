@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Registry binds named metrics for export. Registration is for setup
+// time (it takes a lock and may allocate); reads happen on the export
+// path only, so instrumented hot paths never touch the registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters []namedCounter
+	hists    []namedHistogram
+	names    map[string]bool
+}
+
+type namedCounter struct {
+	name, help string
+	c          *Counter
+}
+
+type namedHistogram struct {
+	name, help string
+	h          *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+func (r *Registry) claim(name string) {
+	if r.names[name] {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.names[name] = true
+}
+
+// RegisterCounter exposes c under name (Prometheus convention:
+// snake_case with a _total suffix for counters).
+func (r *Registry) RegisterCounter(name, help string, c *Counter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	r.counters = append(r.counters, namedCounter{name, help, c})
+}
+
+// RegisterHistogram exposes h under name; bucket bounds are exported
+// in nanoseconds (suffix the name _ns to keep the unit visible).
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	r.hists = append(r.hists, namedHistogram{name, help, h})
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		if c.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.hists {
+		if h.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", h.name, h.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.name); err != nil {
+			return err
+		}
+		s := h.h.Snapshot()
+		cum := int64(0)
+		for i, n := range s.Counts {
+			cum += n
+			le := "+Inf"
+			if b := BucketBound(i); b >= 0 {
+				le = fmt.Sprintf("%d", b+1)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", h.name, s.SumNs, h.name, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the registry state as a plain map, the expvar
+// payload.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.hists))
+	for _, c := range r.counters {
+		out[c.name] = c.c.Value()
+	}
+	for _, h := range r.hists {
+		s := h.h.Snapshot()
+		out[h.name] = map[string]any{
+			"count":   s.Count,
+			"sum_ns":  s.SumNs,
+			"mean_ns": s.Mean(),
+		}
+	}
+	return out
+}
+
+// PublishExpvar publishes the registry under the given expvar name.
+// Safe to call more than once (expvar forbids re-publishing a name;
+// subsequent calls are no-ops).
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Handler serves the Prometheus text exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// sortedNames returns every registered metric name, for tests.
+func (r *Registry) sortedNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.names))
+	for n := range r.names {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HostMetrics bundles one metrics instance per instrumented host
+// package, registered under the canonical pulphd_* names (documented
+// in DESIGN.md §8). Wire it with hdc.SetMetrics(h.Inference),
+// stream.SetMetrics(h.Stream) and parallel.SetMetrics(h.Pool).
+type HostMetrics struct {
+	Inference *InferenceMetrics
+	Stream    *StreamMetrics
+	Pool      *PoolMetrics
+	Registry  *Registry
+}
+
+// NewHostMetrics builds the full host metric set.
+func NewHostMetrics() *HostMetrics {
+	h := &HostMetrics{
+		Inference: &InferenceMetrics{},
+		Stream:    &StreamMetrics{},
+		Pool:      &PoolMetrics{},
+		Registry:  NewRegistry(),
+	}
+	r := h.Registry
+	r.RegisterCounter("pulphd_predict_total", "Predict calls", &h.Inference.Predicts)
+	r.RegisterHistogram("pulphd_predict_latency_ns", "Predict latency in nanoseconds", &h.Inference.PredictNanos)
+	r.RegisterCounter("pulphd_predict_batch_total", "PredictBatch calls", &h.Inference.BatchCalls)
+	r.RegisterCounter("pulphd_predict_batch_windows_total", "windows classified by PredictBatch", &h.Inference.BatchWindows)
+	r.RegisterHistogram("pulphd_predict_batch_latency_ns", "PredictBatch call latency in nanoseconds", &h.Inference.BatchNanos)
+	r.RegisterCounter("pulphd_predict_batch_serial_fallbacks_total", "PredictBatch calls that ran serially (nil pool)", &h.Inference.BatchSerialFallbacks)
+	r.RegisterCounter("pulphd_stream_samples_total", "samples pushed into stream classifiers", &h.Stream.Samples)
+	r.RegisterCounter("pulphd_stream_decisions_total", "decisions emitted by stream classifiers", &h.Stream.Decisions)
+	r.RegisterCounter("pulphd_stream_replays_total", "Replay calls", &h.Stream.Replays)
+	r.RegisterHistogram("pulphd_stream_replay_latency_ns", "Replay call latency in nanoseconds", &h.Stream.ReplayNanos)
+	r.RegisterCounter("pulphd_pool_collectives_total", "worker-pool collective calls", &h.Pool.Collectives)
+	r.RegisterCounter("pulphd_pool_tasks_total", "chunks run by pool collectives (incl. the caller's)", &h.Pool.Tasks)
+	r.RegisterCounter("pulphd_pool_task_slots_total", "chunks pool collectives could have run (pool width); tasks/slots = utilization", &h.Pool.Slots)
+	r.RegisterCounter("pulphd_pool_serial_fallbacks_total", "collectives that ran entirely on the caller", &h.Pool.SerialFallbacks)
+	return h
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pulphd/internal/pulp"
+)
+
+// runTableChains drives the Table 2/3 style platform set through a
+// trace: the real wiring (Platform.Tracer) exercised end to end.
+func runTableChains(t *testing.T) *Trace {
+	t.Helper()
+	tr := NewTrace()
+	work := []pulp.KernelWork{
+		{Name: "MAP+ENCODERS", Items: 313, Regions: 2, DMABytes: 10016},
+		{Name: "AM", Items: 313, Regions: 1, DMABytes: 6260},
+	}
+	for i := range work {
+		work[i].Parallel.Add(0, 313*50) // some load traffic
+		work[i].Parallel.AddLoop(313)
+	}
+	for _, p := range []pulp.Platform{
+		pulp.CortexM4Platform(),
+		pulp.PULPv3Platform(1),
+		pulp.PULPv3Platform(4),
+		pulp.WolfPlatform(8, true),
+	} {
+		p.Tracer = tr
+		p.RunChain(work)
+	}
+	return tr
+}
+
+func TestTraceRecordsEveryKernel(t *testing.T) {
+	tr := runTableChains(t)
+	if got, want := tr.Len(), 4*2; got != want {
+		t.Fatalf("trace holds %d events, want %d", got, want)
+	}
+	// Kernels on one platform must tile the timeline back to back.
+	pt := tr.index["PULPv3 4-core/4"]
+	if pt == nil {
+		t.Fatal("PULPv3 4-core timeline missing")
+	}
+	if pt.events[0].Start != 0 {
+		t.Fatalf("first kernel starts at %d", pt.events[0].Start)
+	}
+	if want := pt.events[0].Result.Total(); pt.events[1].Start != want {
+		t.Fatalf("second kernel starts at %d, want %d", pt.events[1].Start, want)
+	}
+}
+
+// chromeEvent mirrors the trace-event schema for parsing.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    *int64         `json:"ts"`
+	Dur   int64          `json:"dur"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Cat   string         `json:"cat"`
+	Args  map[string]any `json:"args"`
+}
+
+// TestChromeTraceIsValidJSON pins the acceptance criterion: the
+// export parses as Chrome trace-event JSON, every complete event
+// carries the required fields, and the per-lane durations add back up
+// to the simulator's cycle accounting.
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	tr := runTableChains(t)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit %q", parsed.DisplayTimeUnit)
+	}
+	var slices, meta int
+	lanes := map[string]int64{}
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			slices++
+			if ev.Name == "" || ev.Ts == nil || ev.Dur <= 0 || ev.Pid <= 0 {
+				t.Fatalf("malformed complete event: %+v", ev)
+			}
+			if ev.Tid < 0 || ev.Tid >= len(laneNames) || ev.Cat != laneNames[ev.Tid] {
+				t.Fatalf("event lane/category mismatch: %+v", ev)
+			}
+			lanes[ev.Cat] += ev.Dur
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Phase)
+		}
+	}
+	if slices == 0 || meta == 0 {
+		t.Fatalf("degenerate trace: %d slices, %d metadata events", slices, meta)
+	}
+	// Cross-check against the recorder's own accounting.
+	var want [5]int64
+	for _, pt := range tr.platforms {
+		for _, ev := range pt.events {
+			want[laneCompute] += ev.Result.ComputeCycles
+			want[laneSerial] += ev.Result.SerialCycles
+			want[laneRuntime] += ev.Result.RuntimeCycles
+			want[laneDMA] += ev.Result.DMACycles
+			want[laneDMAHidden] += ev.Result.HiddenDMACycles
+		}
+	}
+	for tid, lane := range laneNames {
+		if lanes[lane] != want[tid] {
+			t.Errorf("lane %q sums to %d cycles, recorder says %d", lane, lanes[lane], want[tid])
+		}
+	}
+}
+
+func TestTraceSummaryTable(t *testing.T) {
+	tr := runTableChains(t)
+	var buf bytes.Buffer
+	if err := tr.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MAP+ENCODERS", "AM", "TOTAL", "PULPv3 4-core", "dma-hidden"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary lacks %q:\n%s", want, out)
+		}
+	}
+	// One TOTAL row per platform.
+	if got := strings.Count(out, "TOTAL"); got != len(tr.platforms) {
+		t.Errorf("%d TOTAL rows for %d platforms", got, len(tr.platforms))
+	}
+}

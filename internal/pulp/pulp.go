@@ -13,6 +13,7 @@ package pulp
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pulphd/internal/isa"
 )
@@ -84,6 +85,15 @@ func (t TCDMModel) stallPerAccess(cores int) float64 {
 	return float64(cores-1) / (2 * float64(t.Banks))
 }
 
+// Tracer receives the cycle accounting of every kernel a platform
+// runs. internal/obs provides the standard implementation; the
+// indirection keeps this package free of any observability
+// dependency. A nil Tracer (the default) costs one pointer compare
+// per kernel.
+type Tracer interface {
+	RecordKernel(platform string, cores int, r KernelResult)
+}
+
 // Platform is one execution target.
 type Platform struct {
 	Name    string
@@ -94,6 +104,8 @@ type Platform struct {
 	TCDM    TCDMModel
 	L1Bytes int
 	L2Bytes int
+	// Tracer, when non-nil, observes every Run/RunChain kernel result.
+	Tracer Tracer
 }
 
 // PULPv3Platform returns the silicon-prototype cluster (§2.2) with the
@@ -222,20 +234,23 @@ func (p Platform) Run(w KernelWork) KernelResult {
 	}
 	if w.Items > 0 {
 		chunk := (w.Items + int64(p.Cores) - 1) / int64(p.Cores)
-		res.ComputeCycles = total * chunk / w.Items
+		res.ComputeCycles = mulDiv(total, chunk, w.Items)
 	} else {
 		res.ComputeCycles = total
 	}
 	res.SerialCycles = p.ISA.Cycles(w.Serial)
 	res.RuntimeCycles = int64(w.Regions) * p.Runtime.overhead(p.Cores)
 	transfer := p.DMA.transferCycles(w.DMABytes)
-	if p.DMA.DoubleBuffered {
-		// The first tile cannot overlap; model it as the setup plus
-		// one quarter of the stream, then hide the rest under compute.
-		prologue := transfer / 4
-		remaining := transfer - prologue
+	if p.DMA.DoubleBuffered && transfer > 0 {
+		// Programming the DMA is CPU work; it can never hide behind
+		// the transfer it starts. Only the streaming portion overlaps:
+		// the first tile cannot (modelled as one quarter of the
+		// stream), the rest hides under compute.
+		stream := transfer - p.DMA.SetupCycles
+		prologue := stream / 4
+		remaining := stream - prologue
 		hidden := remaining
-		visible := prologue
+		visible := p.DMA.SetupCycles + prologue
 		if remaining > res.ComputeCycles {
 			// Compute-bound assumption broke: the excess shows.
 			visible += remaining - res.ComputeCycles
@@ -246,7 +261,20 @@ func (p Platform) Run(w KernelWork) KernelResult {
 	} else {
 		res.DMACycles = transfer
 	}
+	if p.Tracer != nil {
+		p.Tracer.RecordKernel(p.Name, p.Cores, res)
+	}
 	return res
+}
+
+// mulDiv returns a*b/c exactly for non-negative a, b with b ≤ c,
+// computing the product in 128 bits: high-dimensionality sweeps push
+// cycles × chunk past int64 well before the division brings the
+// quotient back in range.
+func mulDiv(a, b, c int64) int64 {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	q, _ := bits.Div64(hi, lo, uint64(c))
+	return int64(q)
 }
 
 // RunChain models a sequence of kernels and returns per-kernel results

@@ -1,6 +1,7 @@
 package pulp
 
 import (
+	"math/big"
 	"testing"
 
 	"pulphd/internal/isa"
@@ -71,6 +72,30 @@ func TestSpeedupSaturatesForSmallKernels(t *testing.T) {
 	}
 }
 
+// TestParallelChunkingNearOverflow pins the 128-bit intermediate: a
+// large-op-count, high-item workload drives total × chunk past int64
+// (the old total*chunk/items overflowed before dividing), yet the
+// quotient must stay exact.
+func TestParallelChunkingNearOverflow(t *testing.T) {
+	p := PULPv3Platform(4)
+	const items = int64(1_000_000_001) // odd, so chunk imbalance is real
+	w := sampleWork(items, 100, 0, 0)
+	total := p.ISA.Cycles(w.Parallel)
+	chunk := (items + 3) / 4
+	if prod := new(big.Int).Mul(big.NewInt(total), big.NewInt(chunk)); prod.IsInt64() {
+		t.Fatalf("workload too small: %v × %v fits int64", total, chunk)
+	}
+	want := new(big.Int).Mul(big.NewInt(total), big.NewInt(chunk))
+	want.Div(want, big.NewInt(items))
+	got := p.Run(w).ComputeCycles
+	if !want.IsInt64() || got != want.Int64() {
+		t.Fatalf("compute cycles %d, want exact quotient %s", got, want)
+	}
+	if got <= 0 || got > total {
+		t.Fatalf("compute cycles %d outside (0, %d]", got, total)
+	}
+}
+
 func TestDMADoubleBufferingHidesTransfers(t *testing.T) {
 	// With compute much longer than the transfer, most of the DMA time
 	// must be hidden.
@@ -88,6 +113,67 @@ func TestDMADoubleBufferingHidesTransfers(t *testing.T) {
 	}
 	if res2.HiddenDMACycles != 0 {
 		t.Fatal("non-double-buffered run reports hidden cycles")
+	}
+}
+
+// TestDMASetupAlwaysVisible pins the overlap heuristic's floor: the
+// CPU work programming the DMA can never hide behind the transfer it
+// starts, so even a compute-dominated kernel keeps SetupCycles (plus
+// the un-overlappable first tile) visible.
+func TestDMASetupAlwaysVisible(t *testing.T) {
+	p := PULPv3Platform(4)
+	w := sampleWork(313, 10_000, 1, 12_000) // compute ≫ transfer
+	res := p.Run(w)
+	transfer := p.DMA.transferCycles(w.DMABytes)
+	stream := transfer - p.DMA.SetupCycles
+	wantVisible := p.DMA.SetupCycles + stream/4
+	if res.DMACycles != wantVisible {
+		t.Fatalf("visible DMA %d, want setup %d + prologue %d", res.DMACycles, p.DMA.SetupCycles, stream/4)
+	}
+	if res.HiddenDMACycles != stream-stream/4 {
+		t.Fatalf("hidden DMA %d, want streamed remainder %d", res.HiddenDMACycles, stream-stream/4)
+	}
+	if res.DMACycles+res.HiddenDMACycles != transfer {
+		t.Fatalf("DMA accounting leaks cycles: %d+%d != %d", res.DMACycles, res.HiddenDMACycles, transfer)
+	}
+	// Zero traffic under double buffering must stay free.
+	if r := p.Run(sampleWork(313, 10, 1, 0)); r.DMACycles != 0 || r.HiddenDMACycles != 0 {
+		t.Fatalf("zero-byte transfer charged %d visible / %d hidden cycles", r.DMACycles, r.HiddenDMACycles)
+	}
+}
+
+// recordingTracer captures RecordKernel calls for assertion.
+type recordingTracer struct {
+	platforms []string
+	cores     []int
+	results   []KernelResult
+}
+
+func (rt *recordingTracer) RecordKernel(platform string, cores int, r KernelResult) {
+	rt.platforms = append(rt.platforms, platform)
+	rt.cores = append(rt.cores, cores)
+	rt.results = append(rt.results, r)
+}
+
+// TestTracerObservesEveryKernel checks the observability hook: every
+// kernel of a chain reaches the platform's Tracer with the same
+// accounting Run returns.
+func TestTracerObservesEveryKernel(t *testing.T) {
+	p := WolfPlatform(8, true)
+	rt := &recordingTracer{}
+	p.Tracer = rt
+	ws := []KernelWork{sampleWork(100, 10, 1, 512), sampleWork(50, 5, 1, 0)}
+	rs, _ := p.RunChain(ws)
+	if len(rt.results) != len(ws) {
+		t.Fatalf("tracer saw %d kernels, want %d", len(rt.results), len(ws))
+	}
+	for i := range rs {
+		if rt.results[i] != rs[i] {
+			t.Errorf("kernel %d: traced %+v != returned %+v", i, rt.results[i], rs[i])
+		}
+		if rt.platforms[i] != p.Name || rt.cores[i] != p.Cores {
+			t.Errorf("kernel %d traced as %q/%d cores, want %q/%d", i, rt.platforms[i], rt.cores[i], p.Name, p.Cores)
+		}
 	}
 }
 

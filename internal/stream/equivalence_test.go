@@ -1,0 +1,183 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"pulphd/internal/parallel"
+)
+
+// The equivalence suite pins the streaming front end's core contract:
+// however a session reaches the classifier — sample-by-sample Push,
+// batched Replay, or any interleaving of the two — the emitted
+// decision sequence is identical, and the smoothing filter behaves
+// the same across ring wrap-arounds and Resets.
+
+// session synthesizes a labelled two-class sample stream with
+// occasional artifact samples, deterministic in seed.
+func session(seed int64, n int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		base := []float64{16, 3, 8, 2}
+		if i%3 == 0 {
+			base = []float64{3, 14, 2, 10}
+		}
+		row := make([]float64, 4)
+		for c := range row {
+			row[c] = base[c] + rng.NormFloat64()
+		}
+		if i%17 == 0 {
+			row[1] += 12 // artifact: pulls single raw decisions toward "b"
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// pushAll feeds samples one by one and returns the emitted decisions.
+func pushAll(s *Classifier, samples [][]float64) []Decision {
+	var out []Decision
+	for _, sample := range samples {
+		if d, ok := s.Push(sample); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestInterleavedPushReplay splits a session into alternating segments
+// fed via Push and via Replay; the concatenated decision stream must
+// be identical to a pure Push loop over the whole session, because
+// Replay shares the Push loop's stride/window/smoothing state.
+func TestInterleavedPushReplay(t *testing.T) {
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	for _, ngram := range []int{1, 3} {
+		cls := trainedClassifier(t, ngram)
+		cfg := Config{DetectionStride: 2, SmoothWindow: 3}
+		samples := session(11, 157) // odd length: segments end off-stride
+		ref, err := New(cls, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pushAll(ref, samples)
+
+		// Cut points chosen to land mid-stride and mid-N-gram-history.
+		cuts := []int{0, 23, 60, 61, 110, len(samples)}
+		s, err := New(cls, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Decision
+		for seg := 0; seg+1 < len(cuts); seg++ {
+			part := samples[cuts[seg]:cuts[seg+1]]
+			if seg%2 == 0 {
+				got = append(got, pushAll(s, part)...)
+			} else {
+				got = append(got, s.Replay(part, pool)...)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ngram=%d: interleaved run emitted %d decisions, push loop %d", ngram, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("ngram=%d decision %d: interleaved %+v != push %+v", ngram, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// naiveVote recomputes the smoothing filter from the full raw-decision
+// history by the documented rule: majority over the last k raw labels,
+// ties to the label whose latest occurrence is most recent.
+func naiveVote(raws []string, k int) string {
+	lo := len(raws) - k
+	if lo < 0 {
+		lo = 0
+	}
+	win := raws[lo:]
+	counts := map[string]int{}
+	latest := map[string]int{}
+	for i, l := range win {
+		counts[l]++
+		latest[l] = i
+	}
+	best, bestN, bestLatest := "", 0, -1
+	for l, c := range counts {
+		if c > bestN || (c == bestN && latest[l] > bestLatest) {
+			best, bestN, bestLatest = l, c, latest[l]
+		}
+	}
+	return best
+}
+
+// TestVoteMatchesNaiveAcrossRingWraps drives enough decisions through
+// the fixed-size decision ring that it wraps many times, and checks
+// every smoothed decision — especially the tie-breaks right at the
+// ring boundary — against a from-scratch recount of the raw history.
+func TestVoteMatchesNaiveAcrossRingWraps(t *testing.T) {
+	for _, smooth := range []int{1, 2, 4, 5} {
+		s, err := New(trainedClassifier(t, 1), Config{DetectionStride: 1, SmoothWindow: smooth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var raws []string
+		for i, sample := range session(13, 300) {
+			d, ok := s.Push(sample)
+			if !ok {
+				continue
+			}
+			raws = append(raws, d.Raw)
+			if want := naiveVote(raws, smooth); d.Smoothed != want {
+				t.Fatalf("smooth=%d decision %d (sample %d): ring vote %q, naive recount %q (history %v)",
+					smooth, len(raws)-1, i, d.Smoothed, want, raws[max(0, len(raws)-smooth):])
+			}
+		}
+		if len(raws) < 3*smooth {
+			t.Fatalf("smooth=%d: only %d decisions, ring never wrapped", smooth, len(raws))
+		}
+	}
+}
+
+// TestResetMidSessionReplay checks Reset gives a truly fresh stream:
+// after feeding half a session and resetting, a Replay of a second
+// session emits exactly what a brand-new stream replaying it does —
+// no leaked N-gram history, stride phase, or smoothing ring.
+func TestResetMidSessionReplay(t *testing.T) {
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	for _, ngram := range []int{1, 3} {
+		cls := trainedClassifier(t, ngram)
+		cfg := Config{DetectionStride: 2, SmoothWindow: 3}
+		first := session(17, 83) // odd length: Reset lands mid-stride
+		second := session(19, 90)
+
+		s, err := New(cls, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pushAll(s, first)
+		s.Reset()
+		got := s.Replay(second, pool)
+
+		fresh, err := New(cls, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fresh.Replay(second, nil)
+
+		if len(got) != len(want) {
+			t.Fatalf("ngram=%d: post-Reset replay emitted %d decisions, fresh stream %d", ngram, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("ngram=%d decision %d: post-Reset %+v != fresh %+v", ngram, i, got[i], want[i])
+			}
+		}
+		if s.Decisions() != fresh.Decisions() {
+			t.Errorf("ngram=%d: decision count %d != %d", ngram, s.Decisions(), fresh.Decisions())
+		}
+	}
+}

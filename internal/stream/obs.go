@@ -1,0 +1,20 @@
+package stream
+
+import (
+	"sync/atomic"
+
+	"pulphd/internal/obs"
+)
+
+// metricsPtr holds the package's stream metrics. The default nil
+// disables recording; Push pays one atomic load per sample either way
+// and allocates nothing.
+var metricsPtr atomic.Pointer[obs.StreamMetrics]
+
+// SetMetrics installs (or, with nil, removes) the metrics sink for
+// every stream Classifier: samples pushed, decisions emitted, and
+// replay calls with their latency. Safe to call at any time.
+func SetMetrics(m *obs.StreamMetrics) { metricsPtr.Store(m) }
+
+// metrics returns the installed sink, nil when disabled.
+func metrics() *obs.StreamMetrics { return metricsPtr.Load() }

@@ -9,6 +9,7 @@ package stream
 
 import (
 	"fmt"
+	"time"
 
 	"pulphd/internal/hdc"
 	"pulphd/internal/parallel"
@@ -143,10 +144,13 @@ func (s *Classifier) record(raw string, dist, sampleIdx int) Decision {
 // window, it returns the decision and true. In steady state Push
 // performs no heap allocation.
 func (s *Classifier) Push(sample []float64) (Decision, bool) {
+	m := metrics()
+	m.RecordSample()
 	if !s.pushSample(sample) {
 		return Decision{}, false
 	}
 	raw, dist := s.cls.Predict(s.window)
+	m.RecordDecision()
 	return s.record(raw, dist, s.nSamples-1), true
 }
 
@@ -190,13 +194,24 @@ func (s *Classifier) vote() string {
 
 // Replay feeds a whole recorded session through the stream and
 // returns every decision, classifying the triggered windows in
-// parallel over pool with the batched inference engine. The
-// stride/window bookkeeping and the smoothing filter run exactly as
-// in a sample-by-sample Push loop, and for configurations whose
-// batch encoding is bit-identical to the serial one (N-gram of 1, or
-// an odd N-gram count per window — including the paper's EMG
-// operating point) the decisions match that loop exactly.
+// parallel over pool with the batched inference engine. A nil pool is
+// allowed and classifies the windows serially. The stride/window
+// bookkeeping and the smoothing filter run exactly as in a
+// sample-by-sample Push loop, and for configurations whose batch
+// encoding is bit-identical to the serial one (N-gram of 1, or an odd
+// N-gram count per window — including the paper's EMG operating
+// point) the decisions match that loop exactly.
 func (s *Classifier) Replay(samples [][]float64, pool *parallel.Pool) []Decision {
+	if m := metrics(); m != nil {
+		start := time.Now()
+		out := s.replay(samples, pool)
+		m.RecordReplay(len(samples), len(out), time.Since(start))
+		return out
+	}
+	return s.replay(samples, pool)
+}
+
+func (s *Classifier) replay(samples [][]float64, pool *parallel.Pool) []Decision {
 	var windows [][][]float64
 	var at []int
 	for _, sample := range samples {

@@ -277,8 +277,13 @@ func TestReplayMatchesPushLoop(t *testing.T) {
 				want = append(want, d)
 			}
 		}
-		for _, workers := range []int{1, 2, 4} {
-			pool := parallel.NewPool(workers)
+		// workers 0 stands for a nil pool: Replay must fall back to a
+		// serial classification loop instead of panicking.
+		for _, workers := range []int{0, 1, 2, 4} {
+			var pool *parallel.Pool
+			if workers > 0 {
+				pool = parallel.NewPool(workers)
+			}
 			s, err := New(cls, cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -295,7 +300,9 @@ func TestReplayMatchesPushLoop(t *testing.T) {
 			if s.Decisions() != ref.Decisions() {
 				t.Errorf("ngram=%d workers=%d: decision count %d != %d", ngram, workers, s.Decisions(), ref.Decisions())
 			}
-			pool.Close()
+			if pool != nil {
+				pool.Close()
+			}
 		}
 	}
 }

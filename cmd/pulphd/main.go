@@ -13,7 +13,8 @@
 // Experiments: accuracy dimsweep table1 table2 table3 fig3 fig4 fig5
 // faults ablation all. The trace subcommand replays the Table 2/3
 // kernel chains with a cycle tracer attached and can export Chrome
-// trace-event JSON; serve exposes the host runtime metrics over HTTP.
+// trace-event JSON; serve exposes the online-learning model over HTTP
+// (POST /predict, POST /learn) together with the host runtime metrics.
 package main
 
 import (
@@ -204,7 +205,7 @@ func usage() {
 	}
 	fmt.Fprintf(os.Stderr, "  all\n\nsubcommands:\n")
 	fmt.Fprintf(os.Stderr, "  trace  replay the Table 2/3 kernel chains with a cycle tracer (Chrome trace JSON)\n")
-	fmt.Fprintf(os.Stderr, "  serve  expose host runtime metrics over HTTP (/metrics, /debug/vars, /debug/pprof)\n")
+	fmt.Fprintf(os.Stderr, "  serve  serve the online-learning model (/predict, /learn) and host metrics (/metrics, /debug/vars, /debug/pprof) over HTTP\n")
 	fmt.Fprintf(os.Stderr, "\nflags:\n")
 	flag.PrintDefaults()
 }

@@ -23,6 +23,7 @@ import (
 func enableHostMetrics() *obs.HostMetrics {
 	h := obs.NewHostMetrics()
 	hdc.SetMetrics(h.Inference)
+	hdc.SetServingMetrics(h.Serving)
 	stream.SetMetrics(h.Stream)
 	parallel.SetMetrics(h.Pool)
 	h.Registry.PublishExpvar("pulphd_metrics")
@@ -83,16 +84,39 @@ func demoWorkload(p *experiments.Prepared, workers int, rounds int) error {
 // runServe implements the "pulphd serve" subcommand: enable the host
 // metrics, expose them over HTTP, and (unless -demo=false) drive the
 // demo workload so the counters move.
+// newServingModel builds the model behind /predict and /learn. With
+// demo data it is the paper's EMG classifier trained on one prepared
+// subject and snapshotted into a serving instance; without, it starts
+// empty and is taught entirely through /learn.
+func newServingModel(prepared *experiments.Prepared, shards int) (*hdc.Serving, error) {
+	if prepared == nil {
+		return hdc.NewServing(hdc.EMGConfig(), shards)
+	}
+	cls, err := hdc.New(hdc.EMGConfig())
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range prepared.Subjects[0].Train {
+		cls.Train(w.Label, w.Window)
+	}
+	return cls.Serving(shards), nil
+}
+
 func runServe(args []string) int {
 	fs := flag.NewFlagSet("pulphd serve", flag.ExitOnError)
-	addr := fs.String("metrics-addr", "localhost:8099", "listen `address` for /metrics, /debug/vars and /debug/pprof")
-	demo := fs.Bool("demo", true, "continuously replay a synthetic EMG session so the metrics move")
-	workers := fs.Int("workers", 4, "worker-pool size for the demo workload's batched replay")
+	addr := fs.String("metrics-addr", "localhost:8099", "listen `address` for /predict, /learn, /metrics, /debug/vars and /debug/pprof")
+	demo := fs.Bool("demo", true, "train the served model on a synthetic EMG subject and continuously replay its session so the metrics move")
+	workers := fs.Int("workers", 4, "worker-pool size for sharded predicts and the demo workload")
 	seed := fs.Int64("seed", 2018, "dataset generation seed")
+	shards := fs.Int("shards", 4, "associative-memory shard count for /predict fan-out")
+	queueDepth := fs.Int("queue-depth", 64, "predict queue bound; further requests get 429")
+	maxBatch := fs.Int("max-batch", 16, "most predict requests classified in one dispatcher batch")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pulphd serve [-metrics-addr host:port]\n\n")
-		fmt.Fprintf(os.Stderr, "Serves host runtime metrics: Prometheus text at /metrics, expvar\n")
-		fmt.Fprintf(os.Stderr, "JSON at /debug/vars, pprof at /debug/pprof/.\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: pulphd serve [-metrics-addr host:port] [-shards n] [-queue-depth n] [-max-batch n]\n\n")
+		fmt.Fprintf(os.Stderr, "Serves the online-learning model over HTTP — POST /predict classifies a\n")
+		fmt.Fprintf(os.Stderr, "window, POST /learn folds a label-corrected window into a new model\n")
+		fmt.Fprintf(os.Stderr, "generation — plus host runtime metrics: Prometheus text at /metrics,\n")
+		fmt.Fprintf(os.Stderr, "expvar JSON at /debug/vars, pprof at /debug/pprof/.\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -100,11 +124,27 @@ func runServe(args []string) int {
 	h := enableHostMetrics()
 	mux := newMetricsMux(h)
 
+	var prepared *experiments.Prepared
 	if *demo {
 		proto := emg.DefaultProtocol()
 		proto.Seed = *seed
 		proto.Subjects = 1
-		prepared := experiments.Prepare(proto, 1)
+		prepared = experiments.Prepare(proto, 1)
+	}
+	sv, err := newServingModel(prepared, *shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
+		return 1
+	}
+	h.Serving.RecordModel(sv.Generation(), sv.Classes(), sv.AM().Shards())
+	pool := parallel.NewPool(*workers)
+	defer pool.Close()
+	api := newAPIServer(sv, pool, *queueDepth, *maxBatch, h.Serving)
+	api.register(mux)
+	api.start()
+	defer api.stop()
+
+	if *demo {
 		go func() {
 			for {
 				if err := demoWorkload(prepared, *workers, 1); err != nil {
@@ -116,7 +156,8 @@ func runServe(args []string) int {
 		}()
 	}
 
-	fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics (expvar: /debug/vars, pprof: /debug/pprof/)\n", *addr)
+	fmt.Fprintf(os.Stderr, "serving model on http://%s/predict and /learn (%d classes, %d shards; metrics: /metrics, expvar: /debug/vars, pprof: /debug/pprof/)\n",
+		*addr, sv.Classes(), sv.AM().Shards())
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
 		return 1

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"pulphd/internal/hdc"
+	"pulphd/internal/obs"
+	"pulphd/internal/parallel"
+)
+
+// This file is the HTTP front end of the online-learning serving
+// layer: POST /predict classifies windows against the current model
+// generation, POST /learn folds label-corrected windows back in.
+// Predict requests flow through a bounded queue into a single
+// dispatcher goroutine that owns the worker pool and drains the queue
+// in batches — concurrent HTTP handlers never contend on the pool, and
+// a full queue sheds load with 429 instead of queueing unboundedly.
+
+// maxRequestBody bounds a request body; the EMG operating point needs
+// a few KB per window, so 1 MiB leaves room for much larger models.
+const maxRequestBody = 1 << 20
+
+type predictRequest struct {
+	Window [][]float64 `json:"window"`
+}
+
+type predictResponse struct {
+	Label      string `json:"label"`
+	Distance   int    `json:"distance"`
+	Generation uint64 `json:"generation"`
+}
+
+type learnRequest struct {
+	Label  string      `json:"label"`
+	Window [][]float64 `json:"window"`
+}
+
+type learnResponse struct {
+	Generation uint64 `json:"generation"`
+	Classes    int    `json:"classes"`
+}
+
+// errNoModel is returned for predicts against a model with no classes
+// (nothing learned yet).
+var errNoModel = errors.New("model has no classes yet; POST /learn first")
+
+// decodePredictWindow parses and validates one window payload. It is
+// shared by /predict and /learn and is the fuzz surface for remote
+// input: any malformed body must come back as an error, never a panic.
+func decodePredictWindow(sv *hdc.Serving, body io.Reader) ([][]float64, error) {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req predictRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after request object")
+	}
+	if err := sv.ValidateWindow(req.Window); err != nil {
+		return nil, err
+	}
+	for _, row := range req.Window {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("window values must be finite")
+			}
+		}
+	}
+	return req.Window, nil
+}
+
+// pendingPredict is one queued predict: the decoded window and the
+// channel its result comes back on.
+type pendingPredict struct {
+	window [][]float64
+	done   chan predictResult
+}
+
+type predictResult struct {
+	label      string
+	distance   int
+	generation uint64
+	err        error
+}
+
+// apiServer owns the serving model, the bounded predict queue, and the
+// dispatcher that drains it.
+type apiServer struct {
+	sv       *hdc.Serving
+	pool     *parallel.Pool
+	queue    chan *pendingPredict
+	maxBatch int
+	m        *obs.ServingMetrics
+
+	stopped chan struct{}
+}
+
+// newAPIServer builds the server around an existing model. The
+// dispatcher is not running yet; start it with start(). queueDepth is
+// the backpressure bound (further predicts get 429), maxBatch the most
+// windows one dispatcher drain classifies together.
+func newAPIServer(sv *hdc.Serving, pool *parallel.Pool, queueDepth, maxBatch int, m *obs.ServingMetrics) *apiServer {
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &apiServer{
+		sv:       sv,
+		pool:     pool,
+		queue:    make(chan *pendingPredict, queueDepth),
+		maxBatch: maxBatch,
+		m:        m,
+		stopped:  make(chan struct{}),
+	}
+}
+
+// start runs the dispatcher until stop. It owns the only Session and
+// the only pool handle, so no lock is needed anywhere on the predict
+// path.
+func (s *apiServer) start() {
+	go s.dispatch()
+}
+
+// stop halts the dispatcher and fails queued requests.
+func (s *apiServer) stop() {
+	close(s.stopped)
+}
+
+// dispatch drains the queue in batches: take one request (blocking),
+// opportunistically take up to maxBatch-1 more, classify them all with
+// one PredictBatch over the pool, answer everyone.
+func (s *apiServer) dispatch() {
+	ses := s.sv.NewSession()
+	batch := make([]*pendingPredict, 0, s.maxBatch)
+	windows := make([][][]float64, 0, s.maxBatch)
+	var preds []hdc.Prediction
+	for {
+		batch, windows = batch[:0], windows[:0]
+		select {
+		case <-s.stopped:
+			s.failQueued()
+			return
+		case p := <-s.queue:
+			batch = append(batch, p)
+			windows = append(windows, p.window)
+		}
+	fill:
+		for len(batch) < s.maxBatch {
+			select {
+			case p := <-s.queue:
+				batch = append(batch, p)
+				windows = append(windows, p.window)
+			default:
+				break fill
+			}
+		}
+		if s.sv.Classes() == 0 {
+			for _, p := range batch {
+				p.done <- predictResult{err: errNoModel}
+			}
+			continue
+		}
+		preds = ses.PredictBatch(s.pool, windows, preds)
+		gen := s.sv.Generation()
+		for i, p := range batch {
+			p.done <- predictResult{
+				label:      preds[i].Label,
+				distance:   preds[i].Distance,
+				generation: gen,
+			}
+		}
+		s.m.RecordServeBatch(len(batch))
+	}
+}
+
+// failQueued answers everything still queued at shutdown.
+func (s *apiServer) failQueued() {
+	for {
+		select {
+		case p := <-s.queue:
+			p.done <- predictResult{err: errors.New("server shutting down")}
+		default:
+			return
+		}
+	}
+}
+
+// register installs the serving endpoints on mux.
+func (s *apiServer) register(mux *http.ServeMux) {
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/learn", s.handleLearn)
+}
+
+// httpError responds with a JSON error body.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST a JSON body to /predict"))
+		return
+	}
+	window, err := decodePredictWindow(s.sv, http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		s.m.RecordRequest(false)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	p := &pendingPredict{window: window, done: make(chan predictResult, 1)}
+	select {
+	case s.queue <- p:
+		s.m.RecordRequest(true)
+	default:
+		s.m.RecordRequest(false)
+		httpError(w, http.StatusTooManyRequests, errors.New("predict queue full; retry"))
+		return
+	}
+	select {
+	case res := <-p.done:
+		if res.err != nil {
+			code := http.StatusServiceUnavailable
+			if errors.Is(res.err, errNoModel) {
+				code = http.StatusConflict
+			}
+			httpError(w, code, res.err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(predictResponse{
+			Label:      res.label,
+			Distance:   res.distance,
+			Generation: res.generation,
+		})
+	case <-r.Context().Done():
+		// The dispatcher will still answer p.done (buffered), nobody
+		// blocks; the client just went away.
+	}
+}
+
+func (s *apiServer) handleLearn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST a JSON body to /learn"))
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	var req learnRequest
+	if err := dec.Decode(&req); err != nil {
+		s.m.RecordRequest(false)
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Label == "" {
+		s.m.RecordRequest(false)
+		httpError(w, http.StatusBadRequest, errors.New("label must be non-empty"))
+		return
+	}
+	// Learn serializes on the model's writer lock; the copy-on-write
+	// publish keeps concurrent predicts lock-free throughout.
+	if err := s.sv.Learn(req.Label, req.Window); err != nil {
+		s.m.RecordRequest(false)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.m.RecordRequest(true)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(learnResponse{
+		Generation: s.sv.Generation(),
+		Classes:    s.sv.Classes(),
+	})
+}

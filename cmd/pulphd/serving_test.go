@@ -1,0 +1,305 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pulphd/internal/hdc"
+	"pulphd/internal/obs"
+	"pulphd/internal/parallel"
+	"pulphd/internal/stream"
+)
+
+// testServingConfig keeps the handler tests fast.
+func testServingConfig() hdc.Config {
+	cfg := hdc.EMGConfig()
+	cfg.D = 640
+	return cfg
+}
+
+// testWindow builds a full-shape window whose channels sit at the
+// given level.
+func testWindow(cfg hdc.Config, level float64) [][]float64 {
+	w := make([][]float64, cfg.Window)
+	for t := range w {
+		row := make([]float64, cfg.Channels)
+		for c := range row {
+			row[c] = level
+		}
+		w[t] = row
+	}
+	return w
+}
+
+// newTestAPI builds a trained serving model behind a running API
+// server and an httptest front end. Stop and close are hooked into
+// t.Cleanup.
+func newTestAPI(t *testing.T, queueDepth, maxBatch int) (*apiServer, *httptest.Server) {
+	t.Helper()
+	sv, err := hdc.NewServing(testServingConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []hdc.Sample{
+		{Label: "rest", Window: testWindow(sv.Config(), 2)},
+		{Label: "fist", Window: testWindow(sv.Config(), 16)},
+	}
+	if err := sv.Retrain(nil, samples); err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(2)
+	t.Cleanup(pool.Close)
+	api := newAPIServer(sv, pool, queueDepth, maxBatch, nil)
+	api.start()
+	t.Cleanup(api.stop)
+	mux := http.NewServeMux()
+	api.register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return api, srv
+}
+
+func postJSON(t *testing.T, srv *httptest.Server, path, body string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+func windowJSON(t *testing.T, cfg hdc.Config, level float64) string {
+	t.Helper()
+	data, err := json.Marshal(predictRequest{Window: testWindow(cfg, level)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestPredictHandler(t *testing.T) {
+	api, srv := newTestAPI(t, 8, 4)
+	cfg := api.sv.Config()
+	cases := []struct {
+		name      string
+		body      string
+		wantCode  int
+		wantLabel string
+	}{
+		{"rest window", windowJSON(t, cfg, 2), 200, "rest"},
+		{"fist window", windowJSON(t, cfg, 16), 200, "fist"},
+		{"empty body", "", 400, ""},
+		{"not json", "not json", 400, ""},
+		{"wrong shape", `{"window": [[1, 2]]}`, 400, ""},
+		{"empty window", `{"window": []}`, 400, ""},
+		{"unknown field", `{"win": [[1, 2, 3, 4]]}`, 400, ""},
+		{"trailing data", windowJSON(t, cfg, 2) + "{}", 400, ""},
+		{"huge number", `{"window": [[1e999, 2, 3, 4]]}`, 400, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := postJSON(t, srv, "/predict", tc.body)
+			if code != tc.wantCode {
+				t.Fatalf("status %d, want %d (body %s)", code, tc.wantCode, body)
+			}
+			if tc.wantCode != 200 {
+				var e map[string]string
+				if err := json.Unmarshal([]byte(body), &e); err != nil || e["error"] == "" {
+					t.Fatalf("error response lacks an error field: %s", body)
+				}
+				return
+			}
+			var res predictResponse
+			if err := json.Unmarshal([]byte(body), &res); err != nil {
+				t.Fatal(err)
+			}
+			if res.Label != tc.wantLabel {
+				t.Fatalf("label %q, want %q", res.Label, tc.wantLabel)
+			}
+			if res.Distance < 0 || res.Distance > cfg.D {
+				t.Fatalf("distance %d out of range", res.Distance)
+			}
+		})
+	}
+	// Wrong method.
+	resp, err := srv.Client().Get(srv.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict: %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestLearnHandler(t *testing.T) {
+	api, srv := newTestAPI(t, 8, 4)
+	cfg := api.sv.Config()
+	gen := api.sv.Generation()
+
+	// Teach a third gesture, then predict it.
+	body, err := json.Marshal(learnRequest{Label: "point", Window: testWindow(cfg, 9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, resBody := postJSON(t, srv, "/learn", string(body))
+	if code != 200 {
+		t.Fatalf("learn: status %d (%s)", code, resBody)
+	}
+	var res learnResponse
+	if err := json.Unmarshal([]byte(resBody), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != gen+1 || res.Classes != 3 {
+		t.Fatalf("learn response %+v, want generation %d and 3 classes", res, gen+1)
+	}
+	code, resBody = postJSON(t, srv, "/predict", windowJSON(t, cfg, 9))
+	if code != 200 {
+		t.Fatalf("predict after learn: status %d", code)
+	}
+	var pred predictResponse
+	if err := json.Unmarshal([]byte(resBody), &pred); err != nil {
+		t.Fatal(err)
+	}
+	if pred.Label != "point" {
+		t.Fatalf("learned gesture classified as %q", pred.Label)
+	}
+	if pred.Generation != gen+1 {
+		t.Fatalf("predict reports generation %d, want %d", pred.Generation, gen+1)
+	}
+
+	for _, tc := range []struct{ name, body string }{
+		{"empty label", `{"label": "", "window": [[1, 2, 3, 4]]}`},
+		{"bad window", `{"label": "x", "window": [[1]]}`},
+		{"not json", "{"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if code, body := postJSON(t, srv, "/learn", tc.body); code != 400 {
+				t.Fatalf("status %d, want 400 (%s)", code, body)
+			}
+		})
+	}
+}
+
+// TestPredictQueueOverflow pins the backpressure contract: with the
+// dispatcher stalled and the queue full, /predict sheds load with 429
+// and counts the rejection.
+func TestPredictQueueOverflow(t *testing.T) {
+	sv, err := hdc.NewServing(testServingConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Retrain(nil, []hdc.Sample{{Label: "rest", Window: testWindow(sv.Config(), 2)}}); err != nil {
+		t.Fatal(err)
+	}
+	m := &obs.ServingMetrics{}
+	api := newAPIServer(sv, nil, 1, 1, m) // dispatcher never started
+	api.queue <- &pendingPredict{}        // fill the queue
+	mux := http.NewServeMux()
+	api.register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	code, body := postJSON(t, srv, "/predict", windowJSON(t, sv.Config(), 2))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", code, body)
+	}
+	if m.Rejected.Value() != 1 || m.Requests.Value() != 1 {
+		t.Fatalf("rejected=%d requests=%d, want 1/1", m.Rejected.Value(), m.Requests.Value())
+	}
+}
+
+// TestPredictNoModel pins the empty-model behavior: 409, not a panic.
+func TestPredictNoModel(t *testing.T) {
+	sv, err := hdc.NewServing(testServingConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := newAPIServer(sv, nil, 4, 4, nil)
+	api.start()
+	defer api.stop()
+	mux := http.NewServeMux()
+	api.register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	code, body := postJSON(t, srv, "/predict", windowJSON(t, sv.Config(), 2))
+	if code != http.StatusConflict {
+		t.Fatalf("status %d, want 409 (%s)", code, body)
+	}
+}
+
+// TestServingMetricsEndpoint checks the serving gauges and counters
+// appear in /metrics and move with learn/predict traffic.
+func TestServingMetricsEndpoint(t *testing.T) {
+	h := enableHostMetrics()
+	t.Cleanup(func() {
+		hdc.SetMetrics(nil)
+		hdc.SetServingMetrics(nil)
+		stream.SetMetrics(nil)
+		parallel.SetMetrics(nil)
+	})
+	sv, err := hdc.NewServing(testServingConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Serving.RecordModel(sv.Generation(), sv.Classes(), sv.AM().Shards())
+	api := newAPIServer(sv, nil, 8, 4, h.Serving)
+	api.start()
+	defer api.stop()
+	mux := newMetricsMux(h)
+	api.register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for i, label := range []string{"rest", "fist", "point"} {
+		body, _ := json.Marshal(learnRequest{Label: label, Window: testWindow(sv.Config(), float64(2 + 7*i))})
+		if code, res := postJSON(t, srv, "/learn", string(body)); code != 200 {
+			t.Fatalf("learn %q: %d (%s)", label, code, res)
+		}
+	}
+	if code, _ := postJSON(t, srv, "/predict", windowJSON(t, sv.Config(), 2)); code != 200 {
+		t.Fatal("predict failed")
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(data)
+	for _, want := range []string{
+		"pulphd_serving_generation 3",
+		"pulphd_serving_classes 3",
+		"pulphd_serving_shards 3", // 3 classes cap the 4 configured shards
+		"pulphd_serving_learns_total 3",
+		"pulphd_serving_requests_total 4",
+		"pulphd_serving_rejected_total 0",
+		"pulphd_serving_batches_total 1",
+		"pulphd_serving_batch_requests_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+	if t.Failed() {
+		for _, line := range strings.Split(metrics, "\n") {
+			if strings.Contains(line, "serving") {
+				fmt.Println(line)
+			}
+		}
+	}
+}

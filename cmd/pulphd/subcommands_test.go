@@ -94,6 +94,7 @@ func TestServeEndpoints(t *testing.T) {
 	h := enableHostMetrics()
 	t.Cleanup(func() {
 		hdc.SetMetrics(nil)
+		hdc.SetServingMetrics(nil)
 		stream.SetMetrics(nil)
 		parallel.SetMetrics(nil)
 	})

@@ -124,7 +124,10 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 			Subject: int(meta[0]),
 			Gesture: Gesture(meta[1]),
 			Rep:     int(meta[2]),
-			Raw:     make([][]float64, nSamples),
+			// Grown sample by sample, capped initial capacity: a corrupt
+			// count can only cost memory proportional to the bytes the
+			// stream actually delivers, not the claimed maxIOSamples.
+			Raw: make([][]float64, 0, min(nSamples, 1024)),
 		}
 		row := make([]float32, d.Protocol.Channels)
 		for t := 0; t < nSamples; t++ {
@@ -135,7 +138,7 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 			for c, v := range row {
 				s[c] = float64(v)
 			}
-			tr.Raw[t] = s
+			tr.Raw = append(tr.Raw, s)
 		}
 		d.Trials = append(d.Trials, tr)
 	}

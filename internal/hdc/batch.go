@@ -38,11 +38,18 @@ type batchCtx struct {
 }
 
 func newBatchCtx(c *Classifier) *batchCtx {
-	d := c.cfg.D
+	return newEncodeCtx(c.cfg, c.im, c.cim)
+}
+
+// newEncodeCtx builds the per-worker scratch over shared read-only
+// item memories — the constructor the serving layer uses, where no
+// *Classifier exists on the read path.
+func newEncodeCtx(cfg Config, im *ItemMemory, cim *ContinuousItemMemory) *batchCtx {
+	d := cfg.D
 	bc := &batchCtx{
-		spatial:  NewSpatialEncoder(c.im, c.cim),
-		temporal: NewTemporalEncoder(d, c.cfg.NGram),
-		seq:      make([]hv.Vector, c.cfg.Window),
+		spatial:  NewSpatialEncoder(im, cim),
+		temporal: NewTemporalEncoder(d, cfg.NGram),
+		seq:      make([]hv.Vector, cfg.Window),
 		ngram:    hv.New(d),
 		g0:       hv.New(d),
 		g1:       hv.New(d),

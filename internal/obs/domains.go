@@ -55,6 +55,9 @@ type StreamMetrics struct {
 	// Replays counts Replay calls; ReplayNanos is their latency.
 	Replays     Counter
 	ReplayNanos Histogram
+	// Corrections counts label-corrected windows folded back into an
+	// online learner via stream.Correct.
+	Corrections Counter
 }
 
 // RecordSample counts one pushed sample.
@@ -83,6 +86,83 @@ func (m *StreamMetrics) RecordReplay(samples, decisions int, d time.Duration) {
 	m.Samples.Add(int64(samples))
 	m.Decisions.Add(int64(decisions))
 	m.ReplayNanos.Observe(d)
+}
+
+// RecordCorrection counts one label-corrected window learned online.
+func (m *StreamMetrics) RecordCorrection() {
+	if m == nil {
+		return
+	}
+	m.Corrections.Inc()
+}
+
+// ServingMetrics instruments the online-learning serving layer: the
+// copy-on-write model generations of hdc.Serving and the request
+// queue of the /predict–/learn HTTP front end.
+type ServingMetrics struct {
+	// Learns counts Learn/Retrain publications; LearnNanos is the time
+	// from encode to generation publish.
+	Learns     Counter
+	LearnNanos Histogram
+	// Generation is the id of the currently published model snapshot
+	// (monotonically increasing); Classes and Shards describe its
+	// associative-memory layout.
+	Generation Gauge
+	Classes    Gauge
+	Shards     Gauge
+	// Requests counts /predict requests accepted into the queue;
+	// Rejected counts the ones bounced with 429 by backpressure.
+	Requests Counter
+	Rejected Counter
+	// Batches counts dispatcher drains; BatchRequests the requests
+	// they served, so BatchRequests/Batches is the mean batch size.
+	Batches       Counter
+	BatchRequests Counter
+}
+
+// RecordPublish folds one generation publication into the metrics.
+func (m *ServingMetrics) RecordPublish(generation uint64, classes, shards int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Learns.Inc()
+	m.LearnNanos.Observe(d)
+	m.Generation.Set(int64(generation))
+	m.Classes.Set(int64(classes))
+	m.Shards.Set(int64(shards))
+}
+
+// RecordModel updates the generation gauges without counting a learn
+// (initial publication, server startup).
+func (m *ServingMetrics) RecordModel(generation uint64, classes, shards int) {
+	if m == nil {
+		return
+	}
+	m.Generation.Set(int64(generation))
+	m.Classes.Set(int64(classes))
+	m.Shards.Set(int64(shards))
+}
+
+// RecordRequest counts one serving request. Requests counts every
+// request; rejected ones (backpressure, malformed bodies) count in
+// Rejected too.
+func (m *ServingMetrics) RecordRequest(accepted bool) {
+	if m == nil {
+		return
+	}
+	m.Requests.Inc()
+	if !accepted {
+		m.Rejected.Inc()
+	}
+}
+
+// RecordServeBatch folds one dispatcher drain of n requests.
+func (m *ServingMetrics) RecordServeBatch(n int) {
+	if m == nil {
+		return
+	}
+	m.Batches.Inc()
+	m.BatchRequests.Add(int64(n))
 }
 
 // PoolMetrics instruments parallel.Pool collectives.

@@ -50,6 +50,37 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Gauge is an instantaneous value that can move both ways (model
+// generation, class count, queue depth). The zero value is ready to
+// use; a nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (useful for depth-style gauges).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value; 0 for a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // HistogramBuckets is the fixed bucket count of every Histogram. The
 // first bucket spans [0, 256 ns) and each subsequent one doubles the
 // upper bound, so the last finite bound is 256ns·2²² ≈ 1.07 s; the
@@ -66,7 +97,6 @@ const histBase = 256
 type Histogram struct {
 	counts [HistogramBuckets]atomic.Int64
 	sum    atomic.Int64
-	n      atomic.Int64
 }
 
 // bucketFor maps a nanosecond value to its bucket index.
@@ -100,12 +130,16 @@ func (h *Histogram) ObserveNanos(ns int64) {
 	}
 	h.counts[bucketFor(ns)].Add(1)
 	h.sum.Add(ns)
-	h.n.Add(1)
 }
 
-// HistogramSnapshot is a consistent-enough copy of a histogram for
-// export (buckets are read individually; the histogram may be written
-// concurrently, as with any sampling exporter).
+// HistogramSnapshot is an internally consistent copy of a histogram
+// for export: Count is derived from the bucket counts read into
+// Counts, so Count always equals the cumulative +Inf bucket that the
+// Prometheus exposition writes — even when the snapshot is taken
+// mid-update. SumNs is read separately and may be off by the handful
+// of in-flight observations (it only feeds the mean); the structural
+// invariant the scrape format needs — Σ Counts == Count — holds by
+// construction.
 type HistogramSnapshot struct {
 	Counts [HistogramBuckets]int64
 	SumNs  int64
@@ -120,9 +154,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
 	}
 	s.SumNs = h.sum.Load()
-	s.Count = h.n.Load()
 	return s
 }
 

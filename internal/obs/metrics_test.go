@@ -32,6 +32,98 @@ func TestNilSafety(t *testing.T) {
 	sm.RecordReplay(100, 20, time.Millisecond)
 	var pm *PoolMetrics
 	pm.RecordCollective(4, 4)
+	var g *Gauge
+	g.Set(7)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	var svm *ServingMetrics
+	svm.RecordPublish(3, 5, 2, time.Millisecond)
+	svm.RecordModel(3, 5, 2)
+	svm.RecordRequest(true)
+	svm.RecordRequest(false)
+	svm.RecordServeBatch(8)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(41)
+	g.Add(2)
+	g.Add(-1)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("gauge %d, want 42", got)
+	}
+	g.Set(5)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge %d after Set, want 5", got)
+	}
+}
+
+func TestServingMetrics(t *testing.T) {
+	var m ServingMetrics
+	m.RecordModel(1, 5, 4)
+	m.RecordPublish(2, 6, 4, time.Millisecond)
+	m.RecordRequest(true)
+	m.RecordRequest(true)
+	m.RecordRequest(false)
+	m.RecordServeBatch(3)
+	if m.Generation.Value() != 2 || m.Classes.Value() != 6 || m.Shards.Value() != 4 {
+		t.Fatalf("gauges %d/%d/%d", m.Generation.Value(), m.Classes.Value(), m.Shards.Value())
+	}
+	if m.Learns.Value() != 1 {
+		t.Fatalf("learns %d, want 1 (RecordModel must not count)", m.Learns.Value())
+	}
+	if m.Requests.Value() != 3 || m.Rejected.Value() != 1 {
+		t.Fatalf("requests/rejected %d/%d, want 3/1 (Requests counts rejected too)", m.Requests.Value(), m.Rejected.Value())
+	}
+	if m.Batches.Value() != 1 || m.BatchRequests.Value() != 3 {
+		t.Fatalf("batches/batchRequests %d/%d", m.Batches.Value(), m.BatchRequests.Value())
+	}
+}
+
+// TestHistogramSnapshotConsistentUnderWrites hammers a histogram from
+// writer goroutines while snapshotting it: every snapshot must satisfy
+// the structural invariant Σ Counts == Count (the cumulative +Inf
+// bucket the Prometheus exposition derives), whatever instant it was
+// taken at. Run with -race this also proves the export path is
+// data-race-free against concurrent updates.
+func TestHistogramSnapshotConsistentUnderWrites(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			defer func() { done <- struct{}{} }()
+			ns := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.ObserveNanos(ns)
+				ns = ns*1664525 + 1013904223
+				if ns < 0 {
+					ns = -ns
+				}
+			}
+		}(int64(w + 1))
+	}
+	for i := 0; i < 2000; i++ {
+		s := h.Snapshot()
+		var sum int64
+		for _, c := range s.Counts {
+			sum += c
+		}
+		if sum != s.Count {
+			t.Fatalf("snapshot %d inconsistent: Σcounts=%d Count=%d", i, sum, s.Count)
+		}
+	}
+	close(stop)
+	for w := 0; w < 4; w++ {
+		<-done
+	}
 }
 
 func TestCounter(t *testing.T) {
@@ -112,6 +204,7 @@ func TestPrometheusExposition(t *testing.T) {
 	h := NewHostMetrics()
 	h.Inference.RecordPredict(1500 * time.Nanosecond)
 	h.Inference.RecordBatch(64, true, time.Millisecond)
+	h.Serving.RecordPublish(7, 64, 8, time.Microsecond)
 	var buf bytes.Buffer
 	if err := h.Registry.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
@@ -120,6 +213,11 @@ func TestPrometheusExposition(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE pulphd_predict_total counter",
 		"pulphd_predict_total 1",
+		"# TYPE pulphd_serving_generation gauge",
+		"pulphd_serving_generation 7",
+		"pulphd_serving_classes 64",
+		"pulphd_serving_shards 8",
+		"pulphd_serving_learns_total 1",
 		"pulphd_predict_batch_windows_total 64",
 		"pulphd_predict_batch_serial_fallbacks_total 1",
 		"# TYPE pulphd_predict_latency_ns histogram",

@@ -15,6 +15,7 @@ import (
 type Registry struct {
 	mu       sync.Mutex
 	counters []namedCounter
+	gauges   []namedGauge
 	hists    []namedHistogram
 	names    map[string]bool
 }
@@ -22,6 +23,11 @@ type Registry struct {
 type namedCounter struct {
 	name, help string
 	c          *Counter
+}
+
+type namedGauge struct {
+	name, help string
+	g          *Gauge
 }
 
 type namedHistogram struct {
@@ -50,6 +56,15 @@ func (r *Registry) RegisterCounter(name, help string, c *Counter) {
 	r.counters = append(r.counters, namedCounter{name, help, c})
 }
 
+// RegisterGauge exposes g under name (Prometheus convention: no
+// _total suffix; gauges move both ways).
+func (r *Registry) RegisterGauge(name, help string, g *Gauge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	r.gauges = append(r.gauges, namedGauge{name, help, g})
+}
+
 // RegisterHistogram exposes h under name; bucket bounds are exported
 // in nanoseconds (suffix the name _ns to keep the unit visible).
 func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
@@ -71,6 +86,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range r.gauges {
+		if g.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.g.Value()); err != nil {
 			return err
 		}
 	}
@@ -107,9 +132,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]any, len(r.counters)+len(r.hists))
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
 	for _, c := range r.counters {
 		out[c.name] = c.c.Value()
+	}
+	for _, g := range r.gauges {
+		out[g.name] = g.g.Value()
 	}
 	for _, h := range r.hists {
 		s := h.h.Snapshot()
@@ -155,9 +183,11 @@ func (r *Registry) sortedNames() []string {
 // HostMetrics bundles one metrics instance per instrumented host
 // package, registered under the canonical pulphd_* names (documented
 // in DESIGN.md §8). Wire it with hdc.SetMetrics(h.Inference),
-// stream.SetMetrics(h.Stream) and parallel.SetMetrics(h.Pool).
+// hdc.SetServingMetrics(h.Serving), stream.SetMetrics(h.Stream) and
+// parallel.SetMetrics(h.Pool).
 type HostMetrics struct {
 	Inference *InferenceMetrics
+	Serving   *ServingMetrics
 	Stream    *StreamMetrics
 	Pool      *PoolMetrics
 	Registry  *Registry
@@ -167,6 +197,7 @@ type HostMetrics struct {
 func NewHostMetrics() *HostMetrics {
 	h := &HostMetrics{
 		Inference: &InferenceMetrics{},
+		Serving:   &ServingMetrics{},
 		Stream:    &StreamMetrics{},
 		Pool:      &PoolMetrics{},
 		Registry:  NewRegistry(),
@@ -182,6 +213,16 @@ func NewHostMetrics() *HostMetrics {
 	r.RegisterCounter("pulphd_stream_decisions_total", "decisions emitted by stream classifiers", &h.Stream.Decisions)
 	r.RegisterCounter("pulphd_stream_replays_total", "Replay calls", &h.Stream.Replays)
 	r.RegisterHistogram("pulphd_stream_replay_latency_ns", "Replay call latency in nanoseconds", &h.Stream.ReplayNanos)
+	r.RegisterCounter("pulphd_stream_corrections_total", "label-corrected windows learned online", &h.Stream.Corrections)
+	r.RegisterCounter("pulphd_serving_learns_total", "generation publications by Learn/Retrain", &h.Serving.Learns)
+	r.RegisterHistogram("pulphd_serving_learn_latency_ns", "Learn/Retrain publish latency in nanoseconds", &h.Serving.LearnNanos)
+	r.RegisterGauge("pulphd_serving_generation", "id of the published model generation", &h.Serving.Generation)
+	r.RegisterGauge("pulphd_serving_classes", "classes in the published generation", &h.Serving.Classes)
+	r.RegisterGauge("pulphd_serving_shards", "associative-memory shards in the published generation", &h.Serving.Shards)
+	r.RegisterCounter("pulphd_serving_requests_total", "/predict requests accepted into the queue", &h.Serving.Requests)
+	r.RegisterCounter("pulphd_serving_rejected_total", "/predict requests rejected by backpressure (429)", &h.Serving.Rejected)
+	r.RegisterCounter("pulphd_serving_batches_total", "request batches drained by the serving dispatcher", &h.Serving.Batches)
+	r.RegisterCounter("pulphd_serving_batch_requests_total", "requests served through dispatcher batches", &h.Serving.BatchRequests)
 	r.RegisterCounter("pulphd_pool_collectives_total", "worker-pool collective calls", &h.Pool.Collectives)
 	r.RegisterCounter("pulphd_pool_tasks_total", "chunks run by pool collectives (incl. the caller's)", &h.Pool.Tasks)
 	r.RegisterCounter("pulphd_pool_task_slots_total", "chunks pool collectives could have run (pool width); tasks/slots = utilization", &h.Pool.Slots)

@@ -55,11 +55,28 @@ type Decision struct {
 	Sample int
 }
 
+// Predictor is the model a stream classifies against. *hdc.Classifier
+// is the offline-trained model; *hdc.Serving is the hot-swappable
+// online-learning one — both satisfy it.
+type Predictor interface {
+	Config() hdc.Config
+	Predict(window [][]float64) (label string, distance int)
+}
+
+// Learner is the optional online-learning extension of a Predictor
+// (*hdc.Serving implements it). When a stream's predictor is also a
+// Learner, Correct can fold label-corrected windows back into the
+// model without stopping the stream.
+type Learner interface {
+	Learn(label string, window [][]float64) error
+}
+
 // Classifier is the streaming wrapper. It is not safe for concurrent
 // use; one stream corresponds to one acquisition channel set.
 type Classifier struct {
-	cls *hdc.Classifier
-	cfg Config
+	cls  Predictor
+	hcfg hdc.Config // predictor config, cached off the hot path
+	cfg  Config
 
 	window   [][]float64 // last NGram samples, oldest first
 	bufs     [][]float64 // fixed ring backing the window samples
@@ -70,21 +87,23 @@ type Classifier struct {
 	recentN  int
 }
 
-// New wraps a trained classifier.
-func New(cls *hdc.Classifier, cfg Config) (*Classifier, error) {
+// New wraps a trained model — an *hdc.Classifier, an *hdc.Serving, or
+// any other Predictor.
+func New(cls Predictor, cfg Config) (*Classifier, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	n := cls.Config().NGram
+	hcfg := cls.Config()
 	s := &Classifier{
 		cls:    cls,
+		hcfg:   hcfg,
 		cfg:    cfg,
-		window: make([][]float64, 0, n),
-		bufs:   make([][]float64, n),
+		window: make([][]float64, 0, hcfg.NGram),
+		bufs:   make([][]float64, hcfg.NGram),
 		recent: make([]string, cfg.SmoothWindow),
 	}
 	for i := range s.bufs {
-		s.bufs[i] = make([]float64, cls.Config().Channels)
+		s.bufs[i] = make([]float64, hcfg.Channels)
 	}
 	return s, nil
 }
@@ -104,10 +123,10 @@ func (s *Classifier) Reset() {
 // steady state the buffer being overwritten is exactly the sample
 // falling out of the window — so no allocation occurs per sample.
 func (s *Classifier) pushSample(sample []float64) bool {
-	if len(sample) != s.cls.Config().Channels {
-		panic(fmt.Sprintf("stream: Push: %d channels, want %d", len(sample), s.cls.Config().Channels))
+	if len(sample) != s.hcfg.Channels {
+		panic(fmt.Sprintf("stream: Push: %d channels, want %d", len(sample), s.hcfg.Channels))
 	}
-	n := s.cls.Config().NGram
+	n := s.hcfg.NGram
 	buf := s.bufs[s.bufIdx]
 	s.bufIdx = (s.bufIdx + 1) % len(s.bufs)
 	copy(buf, sample)
@@ -228,12 +247,47 @@ func (s *Classifier) replay(samples [][]float64, pool *parallel.Pool) []Decision
 	if len(windows) == 0 {
 		return nil
 	}
-	preds := s.cls.Batch(pool).PredictBatch(windows, nil)
+	var preds []hdc.Prediction
+	switch cls := s.cls.(type) {
+	case *hdc.Classifier:
+		preds = cls.Batch(pool).PredictBatch(windows, nil)
+	case *hdc.Serving:
+		ses := cls.NewSession()
+		preds = ses.PredictBatch(pool, windows, nil)
+	default:
+		preds = make([]hdc.Prediction, len(windows))
+		for i, w := range windows {
+			label, dist := s.cls.Predict(w)
+			preds[i] = hdc.Prediction{Label: label, Distance: dist}
+		}
+	}
 	out := make([]Decision, len(preds))
 	for i, p := range preds {
 		out[i] = s.record(p.Label, p.Distance, at[i])
 	}
 	return out
+}
+
+// Correct folds the stream's current window back into the model under
+// the given (corrected) label — the online-learning loop of the
+// paper's wearable: the user signals the true gesture after a
+// misclassification and the model updates in place. It requires the
+// predictor to be a Learner (*hdc.Serving is) and a complete window to
+// be buffered; learning publishes a new model generation that the very
+// next Push classifies against.
+func (s *Classifier) Correct(label string) error {
+	l, ok := s.cls.(Learner)
+	if !ok {
+		return fmt.Errorf("stream: Correct: predictor %T cannot learn online", s.cls)
+	}
+	if len(s.window) < s.hcfg.NGram {
+		return fmt.Errorf("stream: Correct: %d of %d window samples buffered", len(s.window), s.hcfg.NGram)
+	}
+	if err := l.Learn(label, s.window); err != nil {
+		return fmt.Errorf("stream: Correct: %w", err)
+	}
+	metrics().RecordCorrection()
+	return nil
 }
 
 // Decisions returns how many decisions have been emitted.

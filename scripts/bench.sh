@@ -17,6 +17,9 @@ go test -run '^$' \
   -bench 'BenchmarkPredict$|BenchmarkPredictBatch$' \
   -benchmem -count "$COUNT" ./internal/hdc/ "$@" | tee -a "$OUT"
 go test -run '^$' \
+  -bench 'BenchmarkServingPredictUnsharded$|BenchmarkServingPredictSharded$|BenchmarkServingSearchUnsharded$|BenchmarkServingSearchSharded$|BenchmarkServingLearn$' \
+  -benchmem -count "$COUNT" ./internal/hdc/ "$@" | tee -a "$OUT"
+go test -run '^$' \
   -bench 'BenchmarkParallelAMSearch$|BenchmarkParallelMajority$' \
   -benchmem -count "$COUNT" . "$@" | tee -a "$OUT"
 

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	rtpprof "runtime/pprof"
+	"syscall"
 	"time"
 
 	"pulphd/internal/emg"
@@ -28,6 +33,33 @@ func enableHostMetrics() *obs.HostMetrics {
 	parallel.SetMetrics(h.Pool)
 	h.Registry.PublishExpvar("pulphd_metrics")
 	return h
+}
+
+// newServeLogger builds the structured request logger from the
+// -log-level/-log-format flags; an unknown value is an error.
+func newServeLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
 }
 
 // newMetricsMux assembles the observability endpoints: Prometheus
@@ -111,17 +143,29 @@ func runServe(args []string) int {
 	shards := fs.Int("shards", 4, "associative-memory shard count for /predict fan-out")
 	queueDepth := fs.Int("queue-depth", 64, "predict queue bound; further requests get 429")
 	maxBatch := fs.Int("max-batch", 16, "most predict requests classified in one dispatcher batch")
+	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error (debug logs every request with its id)")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	traceRequests := fs.Int("trace-requests", 32, "request span timelines retained for /debug/spans; 0 disables request tracing")
+	grace := fs.Duration("shutdown-grace", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pulphd serve [-metrics-addr host:port] [-shards n] [-queue-depth n] [-max-batch n]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: pulphd serve [-metrics-addr host:port] [-shards n] [-queue-depth n] [-max-batch n] [-log-level l] [-trace-requests n]\n\n")
 		fmt.Fprintf(os.Stderr, "Serves the online-learning model over HTTP — POST /predict classifies a\n")
 		fmt.Fprintf(os.Stderr, "window, POST /learn folds a label-corrected window into a new model\n")
-		fmt.Fprintf(os.Stderr, "generation — plus host runtime metrics: Prometheus text at /metrics,\n")
-		fmt.Fprintf(os.Stderr, "expvar JSON at /debug/vars, pprof at /debug/pprof/.\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "generation — plus observability: Prometheus text at /metrics, expvar\n")
+		fmt.Fprintf(os.Stderr, "JSON at /debug/vars, pprof at /debug/pprof/, request span timelines as\n")
+		fmt.Fprintf(os.Stderr, "Chrome trace JSON at /debug/spans, liveness at /healthz and readiness\n")
+		fmt.Fprintf(os.Stderr, "at /readyz. SIGINT/SIGTERM drain and shut down gracefully.\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
 
+	logger, err := newServeLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
+		return 2
+	}
 	h := enableHostMetrics()
+	obs.RegisterRuntimeMetrics(h.Registry)
 	mux := newMetricsMux(h)
 
 	var prepared *experiments.Prepared
@@ -140,27 +184,53 @@ func runServe(args []string) int {
 	pool := parallel.NewPool(*workers)
 	defer pool.Close()
 	api := newAPIServer(sv, pool, *queueDepth, *maxBatch, h.Serving)
+	api.log = logger
+	if *traceRequests > 0 {
+		api.timelines = obs.NewTimelines(*traceRequests, 64)
+	}
 	api.register(mux)
 	api.start()
 	defer api.stop()
 
 	if *demo {
-		go func() {
-			for {
-				if err := demoWorkload(prepared, *workers, 1); err != nil {
-					fmt.Fprintf(os.Stderr, "pulphd serve: demo workload: %v\n", err)
-					return
+		go rtpprof.Do(context.Background(), rtpprof.Labels("task", "demo-workload"),
+			func(context.Context) {
+				for {
+					if err := demoWorkload(prepared, *workers, 1); err != nil {
+						logger.Error("demo workload", "error", err)
+						return
+					}
+					time.Sleep(100 * time.Millisecond)
 				}
-				time.Sleep(100 * time.Millisecond)
-			}
-		}()
+			})
 	}
 
-	fmt.Fprintf(os.Stderr, "serving model on http://%s/predict and /learn (%d classes, %d shards; metrics: /metrics, expvar: /debug/vars, pprof: /debug/pprof/)\n",
-		*addr, sv.Classes(), sv.AM().Shards())
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
+	// Serve until a termination signal, then drain gracefully: stop
+	// accepting (handlers answer 503), let in-flight requests finish
+	// under the Shutdown deadline, and only then stop the dispatcher.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("serving",
+		"addr", *addr, "classes", sv.Classes(), "shards", sv.AM().Shards(),
+		"endpoints", "/predict /learn /healthz /readyz /metrics /debug/vars /debug/pprof/ /debug/spans")
+
+	select {
+	case err := <-errc:
+		logger.Error("serve", "error", err)
 		return 1
+	case <-ctx.Done():
 	}
+	stopSignals()
+	logger.Info("shutting down", "grace", *grace)
+	api.beginDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		logger.Warn("shutdown incomplete", "error", err)
+	}
+	logger.Info("shutdown complete")
 	return 0
 }

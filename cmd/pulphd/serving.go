@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"runtime/pprof"
+	"sync/atomic"
+	"time"
 
 	"pulphd/internal/hdc"
 	"pulphd/internal/obs"
@@ -75,11 +80,17 @@ func decodePredictWindow(sv *hdc.Serving, body io.Reader) ([][]float64, error) {
 	return req.Window, nil
 }
 
-// pendingPredict is one queued predict: the decoded window and the
-// channel its result comes back on.
+// pendingPredict is one queued predict: the decoded window, the
+// request-scoped observability it rides (ctx carries the span recorder
+// into the model layers; wait is the open queue-residency span), and
+// the channel its result comes back on.
 type pendingPredict struct {
-	window [][]float64
-	done   chan predictResult
+	window   [][]float64
+	ctx      context.Context
+	rec      *obs.Spans
+	wait     obs.SpanID
+	enqueued time.Time
+	done     chan predictResult
 }
 
 type predictResult struct {
@@ -97,6 +108,19 @@ type apiServer struct {
 	queue    chan *pendingPredict
 	maxBatch int
 	m        *obs.ServingMetrics
+
+	// log receives the structured request log; timelines, when
+	// non-nil, keeps the most recent request span trees for
+	// /debug/spans. Both are optional and set before start().
+	log       *slog.Logger
+	timelines *obs.Timelines
+
+	// nextID tags every request with a process-unique id (log lines
+	// and span timelines correlate on it). draining flips once at
+	// shutdown: new work is refused with 503 while in-flight requests
+	// finish under http.Server.Shutdown.
+	nextID   atomic.Uint64
+	draining atomic.Bool
 
 	stopped chan struct{}
 }
@@ -118,15 +142,25 @@ func newAPIServer(sv *hdc.Serving, pool *parallel.Pool, queueDepth, maxBatch int
 		queue:    make(chan *pendingPredict, queueDepth),
 		maxBatch: maxBatch,
 		m:        m,
+		log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
 		stopped:  make(chan struct{}),
 	}
 }
 
 // start runs the dispatcher until stop. It owns the only Session and
 // the only pool handle, so no lock is needed anywhere on the predict
-// path.
+// path. The dispatcher goroutine carries a pprof label so CPU profiles
+// separate batch classification from HTTP handling.
 func (s *apiServer) start() {
-	go s.dispatch()
+	go pprof.Do(context.Background(), pprof.Labels("task", "serve-dispatcher"),
+		func(context.Context) { s.dispatch() })
+}
+
+// beginDrain refuses new work with 503 while requests already queued
+// or in flight complete — the first step of graceful shutdown, before
+// http.Server.Shutdown waits the handlers out.
+func (s *apiServer) beginDrain() {
+	s.draining.Store(true)
 }
 
 // stop halts the dispatcher and fails queued requests.
@@ -135,47 +169,55 @@ func (s *apiServer) stop() {
 }
 
 // dispatch drains the queue in batches: take one request (blocking),
-// opportunistically take up to maxBatch-1 more, classify them all with
-// one PredictBatch over the pool, answer everyone.
+// opportunistically take up to maxBatch-1 more, classify them over the
+// pool, answer everyone. Each request is classified through its own
+// context so its span recorder sees the batch it rode, the encode and
+// AM-search stages, and the per-shard fan-out.
 func (s *apiServer) dispatch() {
 	ses := s.sv.NewSession()
 	batch := make([]*pendingPredict, 0, s.maxBatch)
-	windows := make([][][]float64, 0, s.maxBatch)
-	var preds []hdc.Prediction
 	for {
-		batch, windows = batch[:0], windows[:0]
+		batch = batch[:0]
 		select {
 		case <-s.stopped:
 			s.failQueued()
 			return
 		case p := <-s.queue:
 			batch = append(batch, p)
-			windows = append(windows, p.window)
 		}
 	fill:
 		for len(batch) < s.maxBatch {
 			select {
 			case p := <-s.queue:
 				batch = append(batch, p)
-				windows = append(windows, p.window)
 			default:
 				break fill
 			}
 		}
-		if s.sv.Classes() == 0 {
-			for _, p := range batch {
-				p.done <- predictResult{err: errNoModel}
+		now := time.Now()
+		for _, p := range batch {
+			p.rec.End(p.wait)
+			if !p.enqueued.IsZero() {
+				s.m.RecordQueueWait(now.Sub(p.enqueued))
 			}
-			continue
 		}
-		preds = ses.PredictBatch(s.pool, windows, preds)
+		empty := s.sv.Classes() == 0
 		gen := s.sv.Generation()
-		for i, p := range batch {
-			p.done <- predictResult{
-				label:      preds[i].Label,
-				distance:   preds[i].Distance,
-				generation: gen,
+		for _, p := range batch {
+			if empty {
+				p.done <- predictResult{err: errNoModel}
+				continue
 			}
+			bs := p.rec.Start("batch", p.rec.Parent())
+			p.rec.Annotate(bs, "size", int64(len(batch)))
+			p.rec.SetParent(bs)
+			ctx := p.ctx
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			label, dist := ses.PredictCtx(ctx, s.pool, p.window)
+			p.rec.End(bs)
+			p.done <- predictResult{label: label, distance: dist, generation: gen}
 		}
 		s.m.RecordServeBatch(len(batch))
 	}
@@ -197,6 +239,49 @@ func (s *apiServer) failQueued() {
 func (s *apiServer) register(mux *http.ServeMux) {
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/learn", s.handleLearn)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/spans", s.handleSpans)
+}
+
+// handleHealthz is liveness: the process is up and handling HTTP.
+func (s *apiServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: the server answers 200 once a model is
+// published that /predict can classify against — a generation ≥ 1
+// (something learned) or a snapshot that already holds classes — and
+// flips back to 503 while draining, so load balancers stop routing
+// before shutdown completes.
+func (s *apiServer) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	gen, classes := s.sv.Generation(), s.sv.Classes()
+	if gen == 0 && classes == 0 {
+		httpError(w, http.StatusServiceUnavailable, errNoModel)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":     "ready",
+		"generation": gen,
+		"classes":    classes,
+	})
+}
+
+// handleSpans exports the retained request timelines as Chrome
+// trace-event JSON (load in ui.perfetto.dev).
+func (s *apiServer) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	if s.timelines == nil {
+		httpError(w, http.StatusNotFound, errors.New("request tracing disabled; serve with -trace-requests > 0"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.timelines.WriteChromeTrace(w)
 }
 
 // httpError responds with a JSON error body.
@@ -211,28 +296,60 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST a JSON body to /predict"))
 		return
 	}
+	if s.draining.Load() {
+		s.m.RecordRequest(false)
+		httpError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+	id := s.nextID.Add(1)
+	start := time.Now()
 	window, err := decodePredictWindow(s.sv, http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err != nil {
 		s.m.RecordRequest(false)
+		s.log.Debug("predict rejected", "request", id, "error", err)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	p := &pendingPredict{window: window, done: make(chan predictResult, 1)}
+	// When request tracing is on, the recorder rides the context down
+	// through queue → batch → encode → per-shard search; the handler
+	// owns it and files it into the timeline ring when the request is
+	// answered.
+	rec := s.timelines.Acquire(id)
+	ctx := r.Context()
+	root := obs.NoSpan
+	if rec != nil {
+		ctx = obs.WithSpans(ctx, rec)
+		root = rec.Start("request", obs.NoSpan)
+		rec.Annotate(root, "id", int64(id))
+		rec.SetParent(root)
+	}
+	p := &pendingPredict{
+		window:   window,
+		ctx:      ctx,
+		rec:      rec,
+		wait:     rec.Start("queue.wait", root),
+		enqueued: start,
+		done:     make(chan predictResult, 1),
+	}
 	select {
 	case s.queue <- p:
 		s.m.RecordRequest(true)
 	default:
 		s.m.RecordRequest(false)
+		s.log.Debug("predict shed", "request", id, "reason", "queue full")
 		httpError(w, http.StatusTooManyRequests, errors.New("predict queue full; retry"))
 		return
 	}
 	select {
 	case res := <-p.done:
+		rec.End(root)
+		s.timelines.Release(rec)
 		if res.err != nil {
 			code := http.StatusServiceUnavailable
 			if errors.Is(res.err, errNoModel) {
 				code = http.StatusConflict
 			}
+			s.log.Debug("predict failed", "request", id, "error", res.err)
 			httpError(w, code, res.err)
 			return
 		}
@@ -242,9 +359,14 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 			Distance:   res.distance,
 			Generation: res.generation,
 		})
+		s.log.Debug("predict", "request", id, "label", res.label,
+			"distance", res.distance, "generation", res.generation,
+			"duration", time.Since(start))
 	case <-r.Context().Done():
 		// The dispatcher will still answer p.done (buffered), nobody
-		// blocks; the client just went away.
+		// blocks; the client just went away. The recorder stays with
+		// the abandoned request (never recycled) because the
+		// dispatcher may still be writing spans into it.
 	}
 }
 
@@ -253,6 +375,13 @@ func (s *apiServer) handleLearn(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST a JSON body to /learn"))
 		return
 	}
+	if s.draining.Load() {
+		s.m.RecordRequest(false)
+		httpError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+	id := s.nextID.Add(1)
+	start := time.Now()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	var req learnRequest
@@ -266,17 +395,30 @@ func (s *apiServer) handleLearn(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("label must be non-empty"))
 		return
 	}
+	rec := s.timelines.Acquire(id)
+	ctx := r.Context()
+	root := obs.NoSpan
+	if rec != nil {
+		ctx = obs.WithSpans(ctx, rec)
+		root = rec.Start("request", obs.NoSpan)
+		rec.Annotate(root, "id", int64(id))
+		rec.SetParent(root)
+	}
 	// Learn serializes on the model's writer lock; the copy-on-write
 	// publish keeps concurrent predicts lock-free throughout.
-	if err := s.sv.Learn(req.Label, req.Window); err != nil {
+	err := s.sv.LearnCtx(ctx, req.Label, req.Window)
+	rec.End(root)
+	s.timelines.Release(rec)
+	if err != nil {
 		s.m.RecordRequest(false)
+		s.log.Debug("learn rejected", "request", id, "error", err)
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.m.RecordRequest(true)
+	gen, classes := s.sv.Generation(), s.sv.Classes()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(learnResponse{
-		Generation: s.sv.Generation(),
-		Classes:    s.sv.Classes(),
-	})
+	json.NewEncoder(w).Encode(learnResponse{Generation: gen, Classes: classes})
+	s.log.Debug("learn", "request", id, "label", req.Label,
+		"generation", gen, "classes", classes, "duration", time.Since(start))
 }

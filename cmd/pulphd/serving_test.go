@@ -262,7 +262,7 @@ func TestServingMetricsEndpoint(t *testing.T) {
 	defer srv.Close()
 
 	for i, label := range []string{"rest", "fist", "point"} {
-		body, _ := json.Marshal(learnRequest{Label: label, Window: testWindow(sv.Config(), float64(2 + 7*i))})
+		body, _ := json.Marshal(learnRequest{Label: label, Window: testWindow(sv.Config(), float64(2+7*i))})
 		if code, res := postJSON(t, srv, "/learn", string(body)); code != 200 {
 			t.Fatalf("learn %q: %d (%s)", label, code, res)
 		}

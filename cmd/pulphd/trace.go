@@ -58,5 +58,20 @@ func runTrace(args []string) int {
 		fmt.Fprintf(os.Stderr, "pulphd trace: %v\n", err)
 		return 1
 	}
+
+	// Energy per classification at the paper's 10 ms detection
+	// latency: clock each platform down to the slowest speed that
+	// meets the budget and apply its power model there.
+	fmt.Println()
+	fmt.Println("energy per classification (clock tuned for 10 ms detection latency):")
+	fmt.Printf("  %-24s %12s %10s %10s %10s\n", "platform", "cycles", "clock MHz", "power mW", "energy uJ")
+	for _, e := range experiments.TraceEnergies(tr.Totals()) {
+		if !e.OK {
+			fmt.Printf("  %-24s %12d %10s %10s %10s\n", e.Name, e.Cycles, "-", "-", "-")
+			continue
+		}
+		fmt.Printf("  %-24s %12d %10.2f %10.2f %10.3f\n", e.Name, e.Cycles, e.FreqMHz, e.PowerMW, e.EnergyUJ)
+	}
+	fmt.Println("  (Wolf rows use the extrapolated power model; see internal/power/wolf.go)")
 	return 0
 }

@@ -1,7 +1,11 @@
 package experiments
 
 import (
+	"strings"
+
 	"pulphd/internal/kernels"
+	"pulphd/internal/obs"
+	"pulphd/internal/power"
 	"pulphd/internal/pulp"
 )
 
@@ -32,4 +36,71 @@ func TraceKernelChains(p *Prepared, tr pulp.Tracer) {
 		plat.Tracer = tr
 		plat.RunChain(work.Kernels())
 	}
+}
+
+// TraceEnergy extends one traced platform's cycle total with the
+// paper's energy accounting: the lowest clock that meets the 10 ms
+// detection latency (§4.2) and the power model at that clock.
+type TraceEnergy struct {
+	Name     string
+	Cores    int
+	Cycles   int64
+	FreqMHz  float64
+	PowerMW  float64
+	EnergyUJ float64
+	// OK is false when the platform cannot meet the latency at its
+	// maximum clock (the M4's fate at larger configs); Freq/Power/
+	// Energy are then zero.
+	OK bool
+}
+
+// traceDetectionLatency is the real-time budget the trace energy table
+// tunes each clock for — the paper's 10 ms detection latency.
+const traceDetectionLatency = 0.010
+
+// tracePower maps a traced platform to its power model: the measured
+// M4 and PULPv3 models at their nominal Table 2 voltages, the
+// extrapolated Wolf model at its 0.8 V nominal point. Platforms
+// without a model (none today) return nil.
+func tracePower(name string, cores int) func(freqMHz float64) float64 {
+	switch {
+	case strings.HasPrefix(name, "ARM Cortex M4"):
+		return func(f float64) float64 { return power.CortexM4Power(f).Total() }
+	case strings.HasPrefix(name, "PULPv3"):
+		return func(f float64) float64 {
+			return power.PULPv3Power(power.OperatingPoint{VoltageV: 0.7, FreqMHz: f}, cores).Total()
+		}
+	case strings.HasPrefix(name, "Wolf"):
+		return func(f float64) float64 {
+			return power.WolfPower(power.OperatingPoint{VoltageV: 0.8, FreqMHz: f}, cores).Total()
+		}
+	}
+	return nil
+}
+
+// TraceEnergies converts the tracer's per-platform cycle totals into
+// energy-per-classification estimates. Totals whose platform is not a
+// TracePlatforms configuration are matched by name prefix; unmatched
+// ones report OK=false.
+func TraceEnergies(totals []obs.PlatformTotal) []TraceEnergy {
+	plats := TracePlatforms()
+	out := make([]TraceEnergy, 0, len(totals))
+	for _, t := range totals {
+		e := TraceEnergy{Name: t.Name, Cores: t.Cores, Cycles: t.Cycles}
+		pw := tracePower(t.Name, t.Cores)
+		for _, plat := range plats {
+			if plat.Name != t.Name {
+				continue
+			}
+			if freq, ok := plat.FrequencyForLatency(t.Cycles, traceDetectionLatency); ok && pw != nil {
+				e.FreqMHz = freq
+				e.PowerMW = pw(freq)
+				e.EnergyUJ = power.EnergyPerClassification(e.PowerMW, t.Cycles, freq)
+				e.OK = true
+			}
+			break
+		}
+		out = append(out, e)
+	}
+	return out
 }

@@ -1,12 +1,14 @@
 package hdc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pulphd/internal/hv"
+	"pulphd/internal/obs"
 	"pulphd/internal/parallel"
 )
 
@@ -182,8 +184,37 @@ func (sv *Serving) Learn(label string, window [][]float64) error {
 	return err
 }
 
+// LearnCtx is Learn with request-scoped observability: when ctx
+// carries an obs.Spans recorder the encode and the generation
+// publication record as spans under the recorder's staged parent.
+func (sv *Serving) LearnCtx(ctx context.Context, label string, window [][]float64) error {
+	if err := sv.validateWindow(window); err != nil {
+		return err
+	}
+	rec := obs.SpansFrom(ctx)
+	ses := sv.session()
+	enc := rec.Start("learn.encode", rec.Parent())
+	ses.ctx.encodeTo(ses.ctx.query, window, sv.cfg.NGram)
+	rec.End(enc)
+	err := sv.learnEncoded(rec, label, ses.ctx.query)
+	sv.sessions.Put(ses)
+	return err
+}
+
+// LearnEncodedCtx is LearnEncoded with request-scoped observability.
+func (sv *Serving) LearnEncodedCtx(ctx context.Context, label string, encoded hv.Vector) error {
+	return sv.learnEncoded(obs.SpansFrom(ctx), label, encoded)
+}
+
 // LearnEncoded is Learn for a pre-encoded query hypervector.
 func (sv *Serving) LearnEncoded(label string, encoded hv.Vector) error {
+	return sv.learnEncoded(nil, label, encoded)
+}
+
+// learnEncoded accumulates the encoded sample and publishes a new
+// generation, recording a "learn.publish" span around the swap when a
+// recorder rides along.
+func (sv *Serving) learnEncoded(rec *obs.Spans, label string, encoded hv.Vector) error {
 	if encoded.Dim() != sv.cfg.D {
 		return fmt.Errorf("hdc: LearnEncoded: dimension mismatch %d != %d", encoded.Dim(), sv.cfg.D)
 	}
@@ -195,6 +226,8 @@ func (sv *Serving) LearnEncoded(label string, encoded hv.Vector) error {
 	if m != nil {
 		start = time.Now()
 	}
+	pub := rec.Start("learn.publish", rec.Parent())
+	defer rec.End(pub)
 	sv.mu.Lock()
 	i := -1
 	for j, l := range sv.labels {
@@ -223,6 +256,8 @@ func (sv *Serving) LearnEncoded(label string, encoded hv.Vector) error {
 	next := &generation{id: old.id + 1, am: NewShardedAM(sv.cfg.D, labels, protos, sv.shards)}
 	sv.gen.Store(next)
 	sv.mu.Unlock()
+	rec.Annotate(pub, "generation", int64(next.id))
+	rec.Annotate(pub, "classes", int64(next.am.Classes()))
 	if m != nil {
 		m.RecordPublish(next.id, next.am.Classes(), next.am.Shards(), time.Since(start))
 	}
@@ -359,14 +394,24 @@ type Session struct {
 	am      *ShardedAM // staged for the fan-out in flight
 	scratch []ShardBest
 	fn      func(lo, hi int)
+	// rec and searchSpan stage the request recorder across the shard
+	// fan-out: written by the predicting goroutine before ForRange,
+	// read by the workers it drives (ForRange's task hand-off orders
+	// the accesses, exactly as for am above).
+	rec        *obs.Spans
+	searchSpan obs.SpanID
 }
 
 // NewSession returns a fresh serving handle.
 func (sv *Serving) NewSession() *Session {
 	s := &Session{sv: sv, ctx: newEncodeCtx(sv.cfg, sv.im, sv.cim)}
 	s.fn = func(lo, hi int) {
+		rec := s.rec
 		for sh := lo; sh < hi; sh++ {
+			id := rec.StartTrack("am.shard", s.searchSpan, int32(1+sh))
+			rec.Annotate(id, "shard", int64(sh))
 			s.scratch[sh] = s.am.SearchShard(sh, s.ctx.query)
+			rec.End(id)
 		}
 	}
 	return s
@@ -394,6 +439,65 @@ func (s *Session) predict(pool *parallel.Pool, window [][]float64) (string, int)
 	pool.ForRange(n, s.fn)
 	s.am = nil
 	idx, dist := Reduce(s.scratch)
+	return am.labels[idx], dist
+}
+
+// PredictCtx classifies one window with request-scoped observability:
+// when ctx carries an obs.Spans recorder (obs.WithSpans) the encode,
+// the AM search, and each shard scan record as spans under the
+// recorder's staged parent, and the per-stage latency histograms fill.
+// With no recorder and no metrics sink installed it is byte-for-byte
+// the plain predict path — zero allocations, one context lookup.
+func (s *Session) PredictCtx(ctx context.Context, pool *parallel.Pool, window [][]float64) (label string, distance int) {
+	rec := obs.SpansFrom(ctx)
+	m := metrics()
+	if rec == nil && m == nil {
+		return s.predict(pool, window)
+	}
+	start := time.Now()
+	root := rec.Start("predict", rec.Parent())
+	label, distance = s.predictStaged(rec, m, root, pool, window)
+	rec.End(root)
+	if m != nil {
+		m.RecordPredict(time.Since(start))
+	}
+	return label, distance
+}
+
+// predictStaged is predict with the two pipeline stages — window
+// encoding, then AM search — separately timed and spanned.
+func (s *Session) predictStaged(rec *obs.Spans, m *obs.InferenceMetrics, parent obs.SpanID, pool *parallel.Pool, window [][]float64) (string, int) {
+	gen := s.sv.gen.Load()
+	am := gen.am
+	if am.Classes() == 0 {
+		panic("hdc: Serving.Predict with no classes")
+	}
+	encStart := time.Now()
+	enc := rec.Start("encode", parent)
+	s.ctx.encodeTo(s.ctx.query, window, s.sv.cfg.NGram)
+	rec.End(enc)
+	encode := time.Since(encStart)
+
+	searchStart := time.Now()
+	search := rec.Start("am.search", parent)
+	rec.Annotate(search, "classes", int64(am.Classes()))
+	rec.Annotate(search, "generation", int64(gen.id))
+	n := am.Shards()
+	var idx, dist int
+	if pool == nil || n == 1 {
+		idx, dist = am.NearestInto(nil, s.ctx.query, nil)
+	} else {
+		if cap(s.scratch) < n {
+			s.scratch = make([]ShardBest, n)
+		}
+		s.scratch = s.scratch[:n]
+		s.am, s.rec, s.searchSpan = am, rec, search
+		pool.ForRange(n, s.fn)
+		s.am, s.rec, s.searchSpan = nil, nil, obs.NoSpan
+		idx, dist = Reduce(s.scratch)
+	}
+	rec.End(search)
+	m.RecordStages(encode, time.Since(searchStart))
 	return am.labels[idx], dist
 }
 

@@ -21,6 +21,21 @@ type InferenceMetrics struct {
 	// BatchSerialFallbacks counts batch calls that ran without a
 	// worker pool (nil pool — the serial fallback path).
 	BatchSerialFallbacks Counter
+	// EncodeNanos / SearchNanos split instrumented per-request
+	// predicts into the paper's two stages — window encoding vs AM
+	// search — the per-stage lens of Table 3, per serving request.
+	EncodeNanos Histogram
+	SearchNanos Histogram
+}
+
+// RecordStages folds one staged predict (encode, then search) into
+// the per-stage histograms.
+func (m *InferenceMetrics) RecordStages(encode, search time.Duration) {
+	if m == nil {
+		return
+	}
+	m.EncodeNanos.Observe(encode)
+	m.SearchNanos.Observe(search)
 }
 
 // RecordPredict folds one Predict call into the metrics.
@@ -58,6 +73,9 @@ type StreamMetrics struct {
 	// Corrections counts label-corrected windows folded back into an
 	// online learner via stream.Correct.
 	Corrections Counter
+	// Drift, when non-nil, receives the predicted-vs-corrected label
+	// pairs stream.Correct observes (the online accuracy signal).
+	Drift *DriftMonitor
 }
 
 // RecordSample counts one pushed sample.
@@ -96,6 +114,15 @@ func (m *StreamMetrics) RecordCorrection() {
 	m.Corrections.Inc()
 }
 
+// RecordFeedback forwards one predicted-vs-actual label pair to the
+// drift monitor (a no-op without one installed).
+func (m *StreamMetrics) RecordFeedback(predicted, actual string) {
+	if m == nil {
+		return
+	}
+	m.Drift.RecordFeedback(predicted, actual)
+}
+
 // ServingMetrics instruments the online-learning serving layer: the
 // copy-on-write model generations of hdc.Serving and the request
 // queue of the /predict–/learn HTTP front end.
@@ -118,6 +145,22 @@ type ServingMetrics struct {
 	// they served, so BatchRequests/Batches is the mean batch size.
 	Batches       Counter
 	BatchRequests Counter
+	// QueueWaitNanos is the time a predict request spent in the
+	// bounded queue before the dispatcher picked it up — the serving
+	// stage the paper's on-device chain does not have, and the first
+	// place overload shows.
+	QueueWaitNanos Histogram
+	// BatchSizes distributes dispatcher drain sizes (powers-of-two
+	// buckets from 1, set up by NewHostMetrics).
+	BatchSizes Histogram
+}
+
+// RecordQueueWait folds one request's queue residency.
+func (m *ServingMetrics) RecordQueueWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.QueueWaitNanos.Observe(d)
 }
 
 // RecordPublish folds one generation publication into the metrics.
@@ -163,6 +206,7 @@ func (m *ServingMetrics) RecordServeBatch(n int) {
 	}
 	m.Batches.Inc()
 	m.BatchRequests.Add(int64(n))
+	m.BatchSizes.ObserveNanos(int64(n))
 }
 
 // PoolMetrics instruments parallel.Pool collectives.

@@ -145,7 +145,7 @@ func TestHistogramBuckets(t *testing.T) {
 		{1 << 20, 13}, {1 << 62, HistogramBuckets - 1}, {-5, 0},
 	}
 	for _, tc := range cases {
-		if got := bucketFor(tc.ns); got != tc.bucket {
+		if got := bucketFor(tc.ns, histBase); got != tc.bucket {
 			t.Errorf("bucketFor(%d) = %d, want %d", tc.ns, got, tc.bucket)
 		}
 		h.ObserveNanos(tc.ns)

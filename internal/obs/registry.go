@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -13,11 +14,13 @@ import (
 // time (it takes a lock and may allocate); reads happen on the export
 // path only, so instrumented hot paths never touch the registry.
 type Registry struct {
-	mu       sync.Mutex
-	counters []namedCounter
-	gauges   []namedGauge
-	hists    []namedHistogram
-	names    map[string]bool
+	mu         sync.Mutex
+	counters   []namedCounter
+	gauges     []namedGauge
+	gaugeFuncs []namedGaugeFunc
+	vecs       []namedCounterVec
+	hists      []namedHistogram
+	names      map[string]bool
 }
 
 type namedCounter struct {
@@ -30,9 +33,31 @@ type namedGauge struct {
 	g          *Gauge
 }
 
+type namedGaugeFunc struct {
+	name, help string
+	fn         func() int64
+}
+
+type namedCounterVec struct {
+	name, help string
+	v          *CounterVec
+}
+
 type namedHistogram struct {
 	name, help string
 	h          *Histogram
+}
+
+// escapeHelp escapes a HELP string for the Prometheus text exposition
+// format (version 0.0.4): backslashes and line feeds.
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+// escapeLabel escapes a label value: backslashes, double quotes and
+// line feeds.
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
 }
 
 // NewRegistry returns an empty registry.
@@ -65,6 +90,24 @@ func (r *Registry) RegisterGauge(name, help string, g *Gauge) {
 	r.gauges = append(r.gauges, namedGauge{name, help, g})
 }
 
+// RegisterGaugeFunc exposes fn as a gauge sampled at scrape time —
+// the hook the runtime/metrics collector and the drift monitor hang
+// their derived values on. fn must be safe for concurrent calls.
+func (r *Registry) RegisterGaugeFunc(name, help string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	r.gaugeFuncs = append(r.gaugeFuncs, namedGaugeFunc{name, help, fn})
+}
+
+// RegisterCounterVec exposes the labelled counter family v under name.
+func (r *Registry) RegisterCounterVec(name, help string, v *CounterVec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	r.vecs = append(r.vecs, namedCounterVec{name, help, v})
+}
+
 // RegisterHistogram exposes h under name; bucket bounds are exported
 // in nanoseconds (suffix the name _ns to keep the unit visible).
 func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
@@ -75,35 +118,61 @@ func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
 }
 
 // WritePrometheus renders every registered metric in the Prometheus
-// text exposition format (version 0.0.4).
+// text exposition format (version 0.0.4). HELP text and label values
+// are escaped per the format, so arbitrary class labels (quotes,
+// backslashes, line feeds) survive a parser round trip.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	writeHelp := func(name, help string) error {
+		if help == "" {
+			return nil
+		}
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help))
+		return err
+	}
 	for _, c := range r.counters {
-		if c.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help); err != nil {
-				return err
-			}
+		if err := writeHelp(c.name, c.help); err != nil {
+			return err
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.c.Value()); err != nil {
 			return err
 		}
 	}
-	for _, g := range r.gauges {
-		if g.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help); err != nil {
+	for _, v := range r.vecs {
+		if err := writeHelp(v.name, v.help); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", v.name); err != nil {
+			return err
+		}
+		k1, k2 := v.v.LabelNames()
+		for _, s := range v.v.Snapshot() {
+			if _, err := fmt.Fprintf(w, "%s{%s=\"%s\",%s=\"%s\"} %d\n",
+				v.name, k1, escapeLabel(s.Values[0]), k2, escapeLabel(s.Values[1]), s.Count); err != nil {
 				return err
 			}
+		}
+	}
+	for _, g := range r.gauges {
+		if err := writeHelp(g.name, g.help); err != nil {
+			return err
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.g.Value()); err != nil {
 			return err
 		}
 	}
+	for _, g := range r.gaugeFuncs {
+		if err := writeHelp(g.name, g.help); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.fn()); err != nil {
+			return err
+		}
+	}
 	for _, h := range r.hists {
-		if h.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", h.name, h.help); err != nil {
-				return err
-			}
+		if err := writeHelp(h.name, h.help); err != nil {
+			return err
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.name); err != nil {
 			return err
@@ -113,7 +182,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for i, n := range s.Counts {
 			cum += n
 			le := "+Inf"
-			if b := BucketBound(i); b >= 0 {
+			if b := s.BucketBound(i); b >= 0 {
 				le = fmt.Sprintf("%d", b+1)
 			}
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, le, cum); err != nil {
@@ -132,12 +201,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.gaugeFuncs)+len(r.vecs)+len(r.hists))
 	for _, c := range r.counters {
 		out[c.name] = c.c.Value()
 	}
 	for _, g := range r.gauges {
 		out[g.name] = g.g.Value()
+	}
+	for _, g := range r.gaugeFuncs {
+		out[g.name] = g.fn()
+	}
+	for _, v := range r.vecs {
+		cells := map[string]int64{}
+		for _, s := range v.v.Snapshot() {
+			cells[s.Values[0]+"/"+s.Values[1]] = s.Count
+		}
+		out[v.name] = cells
 	}
 	for _, h := range r.hists {
 		s := h.h.Snapshot()
@@ -160,10 +239,14 @@ func (r *Registry) PublishExpvar(name string) {
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
 }
 
+// PrometheusContentType is the exposition-format media type scrapers
+// content-negotiate on (text format, version 0.0.4).
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
 // Handler serves the Prometheus text exposition.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Content-Type", PrometheusContentType)
 		_ = r.WritePrometheus(w)
 	})
 }
@@ -198,10 +281,11 @@ func NewHostMetrics() *HostMetrics {
 	h := &HostMetrics{
 		Inference: &InferenceMetrics{},
 		Serving:   &ServingMetrics{},
-		Stream:    &StreamMetrics{},
+		Stream:    &StreamMetrics{Drift: NewDriftMonitor()},
 		Pool:      &PoolMetrics{},
 		Registry:  NewRegistry(),
 	}
+	h.Serving.BatchSizes.SetBase(1)
 	r := h.Registry
 	r.RegisterCounter("pulphd_predict_total", "Predict calls", &h.Inference.Predicts)
 	r.RegisterHistogram("pulphd_predict_latency_ns", "Predict latency in nanoseconds", &h.Inference.PredictNanos)
@@ -214,6 +298,12 @@ func NewHostMetrics() *HostMetrics {
 	r.RegisterCounter("pulphd_stream_replays_total", "Replay calls", &h.Stream.Replays)
 	r.RegisterHistogram("pulphd_stream_replay_latency_ns", "Replay call latency in nanoseconds", &h.Stream.ReplayNanos)
 	r.RegisterCounter("pulphd_stream_corrections_total", "label-corrected windows learned online", &h.Stream.Corrections)
+	r.RegisterCounterVec("pulphd_stream_confusion_total", "corrected decisions by (predicted, actual) label", h.Stream.Drift.Confusion())
+	r.RegisterGaugeFunc("pulphd_stream_feedback_total", "corrected decisions observed by the drift monitor", h.Stream.Drift.Feedbacks)
+	r.RegisterGaugeFunc("pulphd_stream_feedback_mismatches", "corrected decisions whose prediction was wrong", h.Stream.Drift.Mismatches)
+	r.RegisterGaugeFunc("pulphd_stream_rolling_accuracy_permille", "agreement rate over the last 256 corrections, in 1/1000 (-1: no signal yet)", h.Stream.Drift.RollingAccuracyPermille)
+	r.RegisterHistogram("pulphd_predict_encode_latency_ns", "per-request window-encode stage latency in nanoseconds", &h.Inference.EncodeNanos)
+	r.RegisterHistogram("pulphd_predict_search_latency_ns", "per-request AM-search stage latency in nanoseconds", &h.Inference.SearchNanos)
 	r.RegisterCounter("pulphd_serving_learns_total", "generation publications by Learn/Retrain", &h.Serving.Learns)
 	r.RegisterHistogram("pulphd_serving_learn_latency_ns", "Learn/Retrain publish latency in nanoseconds", &h.Serving.LearnNanos)
 	r.RegisterGauge("pulphd_serving_generation", "id of the published model generation", &h.Serving.Generation)
@@ -223,6 +313,8 @@ func NewHostMetrics() *HostMetrics {
 	r.RegisterCounter("pulphd_serving_rejected_total", "/predict requests rejected by backpressure (429)", &h.Serving.Rejected)
 	r.RegisterCounter("pulphd_serving_batches_total", "request batches drained by the serving dispatcher", &h.Serving.Batches)
 	r.RegisterCounter("pulphd_serving_batch_requests_total", "requests served through dispatcher batches", &h.Serving.BatchRequests)
+	r.RegisterHistogram("pulphd_serving_queue_wait_ns", "predict queue residency before dispatch in nanoseconds", &h.Serving.QueueWaitNanos)
+	r.RegisterHistogram("pulphd_serving_batch_size", "dispatcher drain sizes (requests per batch; powers-of-two buckets)", &h.Serving.BatchSizes)
 	r.RegisterCounter("pulphd_pool_collectives_total", "worker-pool collective calls", &h.Pool.Collectives)
 	r.RegisterCounter("pulphd_pool_tasks_total", "chunks run by pool collectives (incl. the caller's)", &h.Pool.Tasks)
 	r.RegisterCounter("pulphd_pool_task_slots_total", "chunks pool collectives could have run (pool width); tasks/slots = utilization", &h.Pool.Slots)

@@ -81,6 +81,30 @@ func (t *Trace) Len() int {
 	return n
 }
 
+// PlatformTotal is one platform timeline's cycle total.
+type PlatformTotal struct {
+	Name   string
+	Cores  int
+	Cycles int64
+}
+
+// Totals returns the total recorded cycles per platform timeline, in
+// recording order — the input of the energy-per-classification
+// estimate `pulphd trace` prints.
+func (t *Trace) Totals() []PlatformTotal {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PlatformTotal, 0, len(t.platforms))
+	for _, pt := range t.platforms {
+		var cycles int64
+		for _, ev := range pt.events {
+			cycles += ev.Result.Total()
+		}
+		out = append(out, PlatformTotal{Name: pt.name, Cores: pt.cores, Cycles: cycles})
+	}
+	return out
+}
+
 // traceEvent is one Chrome trace-event JSON object. The format is the
 // Trace Event Format's JSON Array/Object flavour; chrome://tracing
 // and Perfetto both load it. Timestamps are microseconds by spec — we
@@ -111,9 +135,16 @@ type chromeTrace struct {
 func (t *Trace) WriteChromeTrace(w io.Writer) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var evs []traceEvent
+	evs, _ := t.appendEventsLocked(nil, 1)
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ns"})
+}
+
+// appendEventsLocked renders the platform timelines as trace events,
+// one process per platform starting at pidBase. Callers hold t.mu.
+func (t *Trace) appendEventsLocked(evs []traceEvent, pidBase int) ([]traceEvent, int) {
 	for pi, pt := range t.platforms {
-		pid := pi + 1
+		pid := pidBase + pi
 		evs = append(evs, traceEvent{
 			Name: "process_name", Phase: "M", Pid: pid,
 			Args: map[string]any{"name": fmt.Sprintf("%s (%d cores)", pt.name, pt.cores)},
@@ -155,8 +186,7 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			slice(laneDMA, ts, r.DMACycles)
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ns"})
+	return evs, pidBase + len(t.platforms)
 }
 
 // WriteSummary renders the trace as an aligned per-kernel cycle

@@ -23,9 +23,12 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync/atomic"
 
 	"pulphd/internal/hv"
@@ -51,8 +54,13 @@ type task struct {
 
 // worker is the persistent loop. It deliberately captures only the
 // channels, not the Pool, so an abandoned Pool stays finalizable and
-// its finalizer can stop the loop.
-func worker(wake <-chan task, done chan<- struct{}, quit <-chan struct{}) {
+// its finalizer can stop the loop. The goroutine labels itself once at
+// spawn (pprof labels cost nothing per collective), so CPU profiles of
+// the serving path attribute kernel chunks to pool_worker=<id> rather
+// than to an anonymous goroutine.
+func worker(wake <-chan task, done chan<- struct{}, quit <-chan struct{}, id int) {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("pool_worker", strconv.Itoa(id))))
 	for {
 		select {
 		case t := <-wake:
@@ -123,7 +131,7 @@ func NewPool(n int) *Pool {
 		p.quit = make(chan struct{})
 		for i := range p.wake {
 			p.wake[i] = make(chan task, 1)
-			go worker(p.wake[i], p.done, p.quit)
+			go worker(p.wake[i], p.done, p.quit, i+1)
 		}
 		runtime.SetFinalizer(p, (*Pool).Close)
 	}

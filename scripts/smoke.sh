@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Endpoint smoke test: boot `pulphd serve`, hit every observability and
+# serving endpoint once, then check SIGTERM shuts the server down
+# gracefully with exit 0. Run from the repository root; builds the
+# binary into a temp dir.
+set -euo pipefail
+
+ADDR="${SMOKE_ADDR:-localhost:8123}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/pulphd" ./cmd/pulphd
+
+"$TMP/pulphd" serve -metrics-addr "$ADDR" -demo=false -log-level debug \
+  -log-format json >"$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+
+fail() {
+  echo "smoke: $*" >&2
+  echo "--- server log ---" >&2
+  cat "$TMP/serve.log" >&2 || true
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+}
+
+# Liveness comes up first; poll it instead of sleeping blind.
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  kill -0 "$SERVE_PID" 2>/dev/null || fail "server died during startup"
+  [ "$i" = 50 ] && fail "/healthz never came up"
+  sleep 0.2
+done
+echo "smoke: /healthz up"
+
+# Empty model (-demo=false): not ready, predicts refused with 409.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")
+[ "$code" = 503 ] || fail "/readyz on empty model returned $code, want 503"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d '{"window":[[1,2,3,4]]}' "$BASE/predict")
+[ "$code" = 409 ] || fail "/predict on empty model returned $code, want 409"
+
+# fetch GETs a path into a scratch file so body checks never race the
+# transfer (grep -q closing a pipe early would trip pipefail).
+fetch() {
+  curl -sf -o "$TMP/body" "$BASE$1" || fail "GET $1 failed"
+}
+
+# Teach one class, then the predict/learn roundtrip must answer it.
+curl -sf -o "$TMP/body" -X POST -d '{"label":"rest","window":[[1,2,3,4]]}' "$BASE/learn" \
+  || fail "POST /learn failed"
+grep -q '"generation":1' "$TMP/body" || fail "/learn did not publish generation 1"
+fetch /readyz
+grep -q '"status":"ready"' "$TMP/body" || fail "/readyz not ready after learn"
+curl -sf -o "$TMP/body" -X POST -d '{"window":[[1,2,3,4]]}' "$BASE/predict" \
+  || fail "POST /predict failed"
+grep -q '"label":"rest"' "$TMP/body" || fail "/predict did not answer the learned label"
+echo "smoke: /learn + /predict roundtrip ok"
+
+# Observability surface: Prometheus text, span timelines, a 1 s CPU profile.
+fetch /metrics
+grep -q '^pulphd_serving_requests_total' "$TMP/body" \
+  || fail "/metrics lacks pulphd_serving_requests_total"
+fetch /debug/spans
+grep -q '"queue.wait"' "$TMP/body" \
+  || fail "/debug/spans lacks the queue.wait span"
+curl -sf -o "$TMP/profile.pb" "$BASE/debug/pprof/profile?seconds=1" \
+  || fail "/debug/pprof/profile failed"
+[ -s "$TMP/profile.pb" ] || fail "CPU profile is empty"
+grep -q '"msg":"predict"' "$TMP/serve.log" \
+  || fail "debug log lacks a structured predict line"
+echo "smoke: /metrics, /debug/spans, pprof, request log ok"
+
+# Graceful shutdown: SIGTERM drains and exits 0.
+kill -TERM "$SERVE_PID"
+status=0
+wait "$SERVE_PID" || status=$?
+[ "$status" = 0 ] || fail "serve exited $status on SIGTERM, want 0"
+grep -q 'shutdown complete' "$TMP/serve.log" || fail "no shutdown-complete log line"
+echo "smoke: graceful shutdown ok"

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pulphd/internal/hdc"
+	"pulphd/internal/obs"
+	"pulphd/internal/parallel"
+)
+
+// TestPredictTimeout pins the per-request deadline: with the
+// dispatcher stalled the handler answers 504 and counts the timeout;
+// once the dispatcher runs it skips the expired request instead of
+// classifying into the void, and fresh requests still get 200.
+func TestPredictTimeout(t *testing.T) {
+	sv, err := hdc.NewServing(testServingConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []hdc.Sample{
+		{Label: "rest", Window: testWindow(sv.Config(), 2)},
+		{Label: "fist", Window: testWindow(sv.Config(), 16)},
+	}
+	if err := sv.Retrain(nil, samples); err != nil {
+		t.Fatal(err)
+	}
+	m := &obs.ServingMetrics{}
+	api := newAPIServer(sv, nil, 4, 4, m) // dispatcher not started yet
+	api.timeout = 30 * time.Millisecond
+	mux := http.NewServeMux()
+	api.register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	code, body := postJSON(t, srv, "/predict", windowJSON(t, sv.Config(), 2))
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("stalled dispatcher: status %d, want 504 (%s)", code, body)
+	}
+	if !strings.Contains(body, "deadline") {
+		t.Fatalf("504 body does not name the deadline: %s", body)
+	}
+	if m.Timeouts.Value() != 1 {
+		t.Fatalf("timeouts counter %d, want 1", m.Timeouts.Value())
+	}
+
+	// Start the dispatcher: the expired request is still queued with a
+	// dead context; the dispatcher must skip it and answer new work.
+	api.start()
+	t.Cleanup(api.stop)
+	code, body = postJSON(t, srv, "/predict", windowJSON(t, sv.Config(), 2))
+	if code != http.StatusOK {
+		t.Fatalf("after timeout: status %d, want 200 (%s)", code, body)
+	}
+	if m.Timeouts.Value() != 1 {
+		t.Fatalf("timeouts counter moved to %d on a healthy request", m.Timeouts.Value())
+	}
+}
+
+// TestPredictPanicRecovery pins the bounded-retry contract: a predict
+// attempt that panics (here: a nil dispatcher session) is recovered,
+// the pool and session are replaced, and the retry succeeds — the
+// caller sees a normal answer, the counters see the incident.
+func TestPredictPanicRecovery(t *testing.T) {
+	sv, err := hdc.NewServing(testServingConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []hdc.Sample{
+		{Label: "rest", Window: testWindow(sv.Config(), 2)},
+		{Label: "fist", Window: testWindow(sv.Config(), 16)},
+	}
+	if err := sv.Retrain(nil, samples); err != nil {
+		t.Fatal(err)
+	}
+	m := &obs.ServingMetrics{}
+	pool := parallel.NewPool(2)
+	api := newAPIServer(sv, pool, 4, 4, m)
+	t.Cleanup(func() { api.pool.Close() })
+
+	// api.ses is nil (the dispatcher was never started): the first
+	// attempt panics on the nil session, recovery installs a real one.
+	res := api.predictOne(&pendingPredict{window: testWindow(sv.Config(), 2)}, sv.Generation())
+	if res.err != nil {
+		t.Fatalf("predict after recovery failed: %v", res.err)
+	}
+	if res.label != "rest" {
+		t.Fatalf("label %q, want %q", res.label, "rest")
+	}
+	if m.PanicsRecovered.Value() != 1 || m.Retries.Value() != 1 {
+		t.Fatalf("panics=%d retries=%d, want 1/1", m.PanicsRecovered.Value(), m.Retries.Value())
+	}
+	if api.ses == nil {
+		t.Fatal("session not replaced after recovered panic")
+	}
+	if api.pool == pool {
+		t.Fatal("pool not replaced after recovered panic")
+	}
+	if api.pool.Workers() != 2 {
+		t.Fatalf("replacement pool has %d workers, want 2", api.pool.Workers())
+	}
+}
+
+// TestPredictRetriesExhausted pins the failure shape when every retry
+// panics: the request fails with errPredictPanic (mapped to 500 by the
+// handler), the process survives, and the counters account for every
+// attempt.
+func TestPredictRetriesExhausted(t *testing.T) {
+	sv, err := hdc.NewServing(testServingConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Retrain(nil, []hdc.Sample{{Label: "rest", Window: testWindow(sv.Config(), 2)}}); err != nil {
+		t.Fatal(err)
+	}
+	m := &obs.ServingMetrics{}
+	api := newAPIServer(sv, nil, 4, 4, m)
+	api.ses = sv.NewSession()
+	api.retries = 1
+	api.retryBackoff = 0
+
+	// A malformed window (short rows) panics inside encode on every
+	// attempt; validation normally rejects it at the handler, so this
+	// simulates a poisoned model rather than bad input.
+	res := api.predictOne(&pendingPredict{window: [][]float64{{1}}}, sv.Generation())
+	if res.err == nil {
+		t.Fatal("poisoned predict returned no error")
+	}
+	if !errors.Is(res.err, errPredictPanic) {
+		t.Fatalf("error %v does not wrap errPredictPanic", res.err)
+	}
+	if m.PanicsRecovered.Value() != 2 || m.Retries.Value() != 1 {
+		t.Fatalf("panics=%d retries=%d, want 2/1", m.PanicsRecovered.Value(), m.Retries.Value())
+	}
+}
+
+// TestPredictDegradedThroughHTTP drives the full HTTP path with a
+// chaos hook downing one AM shard: /predict still answers 200 with the
+// right label (flat-scan fallback) and the degraded counter moves —
+// the shard loss never surfaces to the client.
+func TestPredictDegradedThroughHTTP(t *testing.T) {
+	m := &obs.ServingMetrics{}
+	hdc.SetServingMetrics(m)
+	t.Cleanup(func() { hdc.SetServingMetrics(nil) })
+	hdc.SetShardChaos(func(shard int) {
+		if shard == 0 {
+			panic("chaos: shard 0 down")
+		}
+	})
+	t.Cleanup(func() { hdc.SetShardChaos(nil) })
+
+	api, srv := newTestAPI(t, 8, 4)
+	cfg := api.sv.Config()
+	code, body := postJSON(t, srv, "/predict", windowJSON(t, cfg, 16))
+	if code != http.StatusOK {
+		t.Fatalf("degraded predict: status %d, want 200 (%s)", code, body)
+	}
+	if !strings.Contains(body, `"label":"fist"`) {
+		t.Fatalf("degraded predict misclassified: %s", body)
+	}
+	if m.DegradedScans.Value() == 0 {
+		t.Fatal("degraded counter did not move with a shard down")
+	}
+}

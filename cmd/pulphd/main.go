@@ -11,7 +11,10 @@
 //	pulphd serve [-metrics-addr host:port]
 //
 // Experiments: accuracy dimsweep table1 table2 table3 fig3 fig4 fig5
-// faults ablation all. The trace subcommand replays the Table 2/3
+// faults protofaults ablation all. faults is the accuracy-vs-BER
+// robustness sweep (deterministic bit-error injection into the HD
+// memories, the simulated DMA transfers, and the SVM baseline's float
+// parameters; see DESIGN.md §11). The trace subcommand replays the Table 2/3
 // kernel chains with a cycle tracer attached and can export Chrome
 // trace-event JSON; serve exposes the online-learning model over HTTP
 // (POST /predict, POST /learn) together with the host runtime metrics.
@@ -35,6 +38,7 @@ var (
 	difficulty = flag.Float64("difficulty", 1.0, "within-class variability of the synthetic EMG campaign")
 	format     = flag.String("format", "text", "output format: text, csv or json")
 	verbose    = flag.Bool("v", false, "print timing per experiment")
+	faultSeed  = flag.Int64("fault-seed", 4242, "bit-error injection seed for the faults sweep")
 )
 
 type runner func(*experiments.Prepared) (*experiments.Table, error)
@@ -74,6 +78,14 @@ var registry = map[string]runner{
 		return experiments.Fig5(p).Table(), nil
 	},
 	"faults": func(p *experiments.Prepared) (*experiments.Table, error) {
+		r, err := experiments.FaultSweep(p, 10000,
+			[]float64{0, 0.0001, 0.001, 0.005, 0.01, 0.05, 0.1}, *faultSeed)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	},
+	"protofaults": func(p *experiments.Prepared) (*experiments.Table, error) {
 		r := experiments.Faults(p, 10000, []float64{0, 5, 10, 20, 30, 40, 45, 48})
 		return r.Table(), nil
 	},
@@ -128,7 +140,7 @@ var registry = map[string]runner{
 // order fixes the presentation sequence for "all".
 var order = []string{
 	"accuracy", "dimsweep", "table1", "table2", "table3",
-	"fig3", "fig4", "fig5", "faults", "ablation",
+	"fig3", "fig4", "fig5", "faults", "protofaults", "ablation",
 	"smoothing", "online", "ngram", "confusion", "eeg", "langid", "margins", "drift", "training", "fusion",
 	"truncation", "summary",
 }

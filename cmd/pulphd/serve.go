@@ -16,6 +16,7 @@ import (
 
 	"pulphd/internal/emg"
 	"pulphd/internal/experiments"
+	"pulphd/internal/fault"
 	"pulphd/internal/hdc"
 	"pulphd/internal/obs"
 	"pulphd/internal/parallel"
@@ -31,6 +32,7 @@ func enableHostMetrics() *obs.HostMetrics {
 	hdc.SetServingMetrics(h.Serving)
 	stream.SetMetrics(h.Stream)
 	parallel.SetMetrics(h.Pool)
+	fault.SetMetrics(h.Fault)
 	h.Registry.PublishExpvar("pulphd_metrics")
 	return h
 }
@@ -147,6 +149,10 @@ func runServe(args []string) int {
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	traceRequests := fs.Int("trace-requests", 32, "request span timelines retained for /debug/spans; 0 disables request tracing")
 	grace := fs.Duration("shutdown-grace", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
+	predictTimeout := fs.Duration("predict-timeout", 0, "per-request /predict deadline; expired requests get 504 (0 disables)")
+	predictRetries := fs.Int("predict-retries", 2, "bounded retries after a recovered predict panic before answering 500")
+	retryBackoff := fs.Duration("retry-backoff", 2*time.Millisecond, "initial backoff between predict retries, doubling per attempt")
+	chaosShard := fs.Int("chaos-shard", -1, "fault injection: panic every sharded scan of this AM shard index, exercising the degraded flat-scan fallback (-1 disables)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pulphd serve [-metrics-addr host:port] [-shards n] [-queue-depth n] [-max-batch n] [-log-level l] [-trace-requests n]\n\n")
 		fmt.Fprintf(os.Stderr, "Serves the online-learning model over HTTP — POST /predict classifies a\n")
@@ -185,8 +191,20 @@ func runServe(args []string) int {
 	defer pool.Close()
 	api := newAPIServer(sv, pool, *queueDepth, *maxBatch, h.Serving)
 	api.log = logger
+	api.timeout = *predictTimeout
+	api.retries = *predictRetries
+	api.retryBackoff = *retryBackoff
 	if *traceRequests > 0 {
 		api.timelines = obs.NewTimelines(*traceRequests, 64)
+	}
+	if sh := *chaosShard; sh >= 0 {
+		logger.Warn("chaos enabled: sharded scans of one AM shard will panic", "shard", sh)
+		hdc.SetShardChaos(func(shard int) {
+			if shard == sh {
+				panic(fmt.Sprintf("chaos: shard %d down", shard))
+			}
+		})
+		defer hdc.SetShardChaos(nil)
 	}
 	api.register(mux)
 	api.start()

@@ -54,6 +54,14 @@ type learnResponse struct {
 // (nothing learned yet).
 var errNoModel = errors.New("model has no classes yet; POST /learn first")
 
+// errPredictPanic marks a predict that kept panicking after the
+// bounded retries — answered 500, never a process crash.
+var errPredictPanic = errors.New("internal error during predict")
+
+// errDeadline marks a predict whose per-request deadline expired —
+// answered 504 by the handler, skipped by the dispatcher.
+var errDeadline = errors.New("predict deadline exceeded")
+
 // decodePredictWindow parses and validates one window payload. It is
 // shared by /predict and /learn and is the fuzz surface for remote
 // input: any malformed body must come back as an error, never a panic.
@@ -109,6 +117,21 @@ type apiServer struct {
 	maxBatch int
 	m        *obs.ServingMetrics
 
+	// ses is the dispatcher's serving session. Only the dispatcher
+	// goroutine touches it (and the pool); after a recovered predict
+	// panic both are replaced, since a panic that escaped mid-collective
+	// can leave the pool barrier poisoned.
+	ses *hdc.Session
+
+	// timeout bounds one predict from enqueue to answer (0: none): the
+	// handler answers 504 when it expires and the dispatcher skips
+	// requests whose context is already dead. retries and retryBackoff
+	// bound the re-attempts after a recovered predict panic; backoff
+	// doubles per attempt.
+	timeout      time.Duration
+	retries      int
+	retryBackoff time.Duration
+
 	// log receives the structured request log; timelines, when
 	// non-nil, keeps the most recent request span trees for
 	// /debug/spans. Both are optional and set before start().
@@ -137,13 +160,15 @@ func newAPIServer(sv *hdc.Serving, pool *parallel.Pool, queueDepth, maxBatch int
 		maxBatch = 1
 	}
 	return &apiServer{
-		sv:       sv,
-		pool:     pool,
-		queue:    make(chan *pendingPredict, queueDepth),
-		maxBatch: maxBatch,
-		m:        m,
-		log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
-		stopped:  make(chan struct{}),
+		sv:           sv,
+		pool:         pool,
+		queue:        make(chan *pendingPredict, queueDepth),
+		maxBatch:     maxBatch,
+		m:            m,
+		retries:      2,
+		retryBackoff: 2 * time.Millisecond,
+		log:          slog.New(slog.NewTextHandler(io.Discard, nil)),
+		stopped:      make(chan struct{}),
 	}
 }
 
@@ -174,7 +199,7 @@ func (s *apiServer) stop() {
 // context so its span recorder sees the batch it rode, the encode and
 // AM-search stages, and the per-shard fan-out.
 func (s *apiServer) dispatch() {
-	ses := s.sv.NewSession()
+	s.ses = s.sv.NewSession()
 	batch := make([]*pendingPredict, 0, s.maxBatch)
 	for {
 		batch = batch[:0]
@@ -208,19 +233,76 @@ func (s *apiServer) dispatch() {
 				p.done <- predictResult{err: errNoModel}
 				continue
 			}
+			if p.ctx != nil && p.ctx.Err() != nil {
+				// The handler already answered (deadline) or the client
+				// went away; don't burn the batch's time on it.
+				p.done <- predictResult{err: errDeadline}
+				continue
+			}
 			bs := p.rec.Start("batch", p.rec.Parent())
 			p.rec.Annotate(bs, "size", int64(len(batch)))
 			p.rec.SetParent(bs)
-			ctx := p.ctx
-			if ctx == nil {
-				ctx = context.Background()
-			}
-			label, dist := ses.PredictCtx(ctx, s.pool, p.window)
+			res := s.predictOne(p, gen)
 			p.rec.End(bs)
-			p.done <- predictResult{label: label, distance: dist, generation: gen}
+			p.done <- res
 		}
 		s.m.RecordServeBatch(len(batch))
 	}
+}
+
+// predictOne classifies one queued request with bounded retries: a
+// predict that panics (a poisoned model, a crashed worker the shard
+// fallback could not absorb) is recovered, the pool and session are
+// replaced, and the attempt repeats after a doubling backoff. When the
+// retry budget is spent the request fails with errPredictPanic (a 500)
+// — the process never dies with it.
+func (s *apiServer) predictOne(p *pendingPredict, gen uint64) predictResult {
+	ctx := p.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for attempt := 0; ; attempt++ {
+		label, dist, err := s.tryPredict(ctx, p.window)
+		if err == nil {
+			return predictResult{label: label, distance: dist, generation: gen}
+		}
+		if attempt >= s.retries {
+			return predictResult{err: fmt.Errorf("%w: %v", errPredictPanic, err)}
+		}
+		s.m.RecordRetry()
+		if s.retryBackoff > 0 {
+			time.Sleep(s.retryBackoff << uint(attempt))
+		}
+	}
+}
+
+// tryPredict runs one predict attempt, converting a panic into an
+// error after replacing the worker pool and session — a panic that
+// escaped mid-collective may have left stale barrier signals that
+// would poison every later collective on the same pool.
+func (s *apiServer) tryPredict(ctx context.Context, window [][]float64) (label string, dist int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.RecordPanicRecovered()
+			s.log.Warn("predict panic recovered", "panic", r)
+			s.replacePoolAndSession()
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	label, dist = s.ses.PredictCtx(ctx, s.pool, window)
+	return label, dist, nil
+}
+
+// replacePoolAndSession swaps in a fresh worker pool and serving
+// session after a recovered panic. Only the dispatcher goroutine calls
+// it, so no lock guards the fields.
+func (s *apiServer) replacePoolAndSession() {
+	if s.pool != nil {
+		workers := s.pool.Workers()
+		s.pool.Close()
+		s.pool = parallel.NewPool(workers)
+	}
+	s.ses = s.sv.NewSession()
 }
 
 // failQueued answers everything still queued at shutdown.
@@ -323,6 +405,19 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 		rec.Annotate(root, "id", int64(id))
 		rec.SetParent(root)
 	}
+	// The per-request deadline rides the context: when it expires the
+	// handler answers 504 below, and the dispatcher sees the dead
+	// context and skips the request instead of classifying into the
+	// void. cancel runs when the handler returns, whichever came first.
+	var timeoutC <-chan time.Time
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+		tm := time.NewTimer(s.timeout)
+		defer tm.Stop()
+		timeoutC = tm.C
+	}
 	p := &pendingPredict{
 		window:   window,
 		ctx:      ctx,
@@ -346,8 +441,13 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.timelines.Release(rec)
 		if res.err != nil {
 			code := http.StatusServiceUnavailable
-			if errors.Is(res.err, errNoModel) {
+			switch {
+			case errors.Is(res.err, errNoModel):
 				code = http.StatusConflict
+			case errors.Is(res.err, errPredictPanic):
+				code = http.StatusInternalServerError
+			case errors.Is(res.err, errDeadline):
+				code = http.StatusGatewayTimeout
 			}
 			s.log.Debug("predict failed", "request", id, "error", res.err)
 			httpError(w, code, res.err)
@@ -362,6 +462,15 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.log.Debug("predict", "request", id, "label", res.label,
 			"distance", res.distance, "generation", res.generation,
 			"duration", time.Since(start))
+	case <-timeoutC:
+		// Deadline expired before the dispatcher answered. Answer 504
+		// now; the dispatcher will see the dead context and skip the
+		// request (or its answer lands in the buffered channel, read by
+		// nobody). The recorder stays with the abandoned request, like
+		// the client-gone path below.
+		s.m.RecordTimeout()
+		s.log.Debug("predict timeout", "request", id, "after", s.timeout)
+		httpError(w, http.StatusGatewayTimeout, errDeadline)
 	case <-r.Context().Done():
 		// The dispatcher will still answer p.done (buffered), nobody
 		// blocks; the client just went away. The recorder stays with

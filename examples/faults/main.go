@@ -1,0 +1,88 @@
+// Faults: corrupt a trained HD classifier's memories with a
+// deterministic bit-error channel and watch accuracy hold — the
+// paper's §4.1 robustness claim at example scale. The same seed
+// produces the same flips on every run; BER 0 is a bit-exact no-op.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pulphd/internal/fault"
+	"pulphd/internal/hdc"
+)
+
+func main() {
+	cfg := hdc.Config{
+		D:        2000,
+		Channels: 4,
+		Levels:   22,
+		MinLevel: 0,
+		MaxLevel: 21,
+		NGram:    1,
+		Window:   1,
+		Seed:     1,
+	}
+
+	patterns := map[string][]float64{
+		"fist":  {17, 14, 3, 5},
+		"open":  {4, 6, 16, 13},
+		"pinch": {11, 3, 12, 2},
+	}
+	labels := []string{"fist", "open", "pinch"}
+
+	// A held-out noisy test set, shared by every corrupted copy.
+	rng := rand.New(rand.NewSource(7))
+	type sample struct {
+		label string
+		row   []float64
+	}
+	var test []sample
+	for i := 0; i < 40; i++ {
+		for _, label := range labels {
+			test = append(test, sample{label, noisy(patterns[label], rng)})
+		}
+	}
+
+	fmt.Println("BER      flipped-bits  accuracy")
+	for _, ber := range []float64{0, 0.001, 0.01, 0.05, 0.1, 0.2} {
+		// A fresh classifier per rate: hdc.New regenerates the item
+		// memories deterministically from cfg.Seed, so every copy
+		// starts bit-identical before its own corruption.
+		cls, err := hdc.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainRNG := rand.New(rand.NewSource(7))
+		for i := 0; i < 10; i++ {
+			for _, label := range labels {
+				cls.Train(label, [][]float64{noisy(patterns[label], trainRNG)})
+			}
+		}
+
+		// Flip stored bits in the IM, CIM, and AM at this rate. The
+		// flips are a pure function of (seed, site, bit), so rerunning
+		// this program reproduces them exactly.
+		flips := cls.InjectBitErrors(fault.Model{BER: ber, Seed: 4242})
+
+		correct := 0
+		for _, s := range test {
+			if got, _ := cls.Predict([][]float64{s.row}); got == s.label {
+				correct++
+			}
+		}
+		fmt.Printf("%-8.3f %-13d %.1f%%\n", ber, flips, 100*float64(correct)/float64(len(test)))
+	}
+	fmt.Println("\nsingle bits carry no privileged information: accuracy decays")
+	fmt.Println("gracefully toward chance instead of collapsing at the first flip")
+}
+
+// noisy returns the pattern plus unit Gaussian noise.
+func noisy(p []float64, rng *rand.Rand) []float64 {
+	out := make([]float64, len(p))
+	for i, v := range p {
+		out[i] = v + rng.NormFloat64()
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package doclint
+
+import (
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// auditedPackages are the directories whose exported surface must be
+// fully documented (the fault/robustness layer and everything it
+// reports through).
+var auditedPackages = []string{"../fault", "../obs", "../hdc", "../pulp", "../stream"}
+
+// TestExportedIdentifiersDocumented walks every audited package with
+// go/doc and fails on any exported const, var, func, type, or method
+// without a doc comment — the offline twin of the CI revive lint.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	for _, dir := range auditedPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			d := doc.New(pkg, dir, 0)
+			if strings.TrimSpace(d.Doc) == "" {
+				t.Errorf("%s: package %s has no package comment", dir, name)
+			}
+			for _, v := range append(append([]*doc.Value(nil), d.Consts...), d.Vars...) {
+				checkValue(t, dir, v)
+			}
+			for _, f := range d.Funcs {
+				checkFunc(t, dir, "", f)
+			}
+			for _, typ := range d.Types {
+				if ast.IsExported(typ.Name) && strings.TrimSpace(typ.Doc) == "" {
+					t.Errorf("%s: exported type %s lacks a doc comment", dir, typ.Name)
+				}
+				for _, v := range append(append([]*doc.Value(nil), typ.Consts...), typ.Vars...) {
+					checkValue(t, dir, v)
+				}
+				for _, f := range append(append([]*doc.Func(nil), typ.Funcs...), typ.Methods...) {
+					checkFunc(t, dir, typ.Name, f)
+				}
+			}
+		}
+	}
+}
+
+// checkValue flags an exported const/var group with no doc comment on
+// the group or its declaration.
+func checkValue(t *testing.T, dir string, v *doc.Value) {
+	t.Helper()
+	if strings.TrimSpace(v.Doc) != "" {
+		return
+	}
+	for _, name := range v.Names {
+		if ast.IsExported(name) {
+			t.Errorf("%s: exported value %s lacks a doc comment", dir, name)
+			return
+		}
+	}
+}
+
+// checkFunc flags an exported function or method (on an exported
+// receiver) with no doc comment.
+func checkFunc(t *testing.T, dir, recv string, f *doc.Func) {
+	t.Helper()
+	if !ast.IsExported(f.Name) || (recv != "" && !ast.IsExported(recv)) {
+		return
+	}
+	if strings.TrimSpace(f.Doc) == "" {
+		if recv != "" {
+			t.Errorf("%s: exported method %s.%s lacks a doc comment", dir, recv, f.Name)
+		} else {
+			t.Errorf("%s: exported func %s lacks a doc comment", dir, f.Name)
+		}
+	}
+}

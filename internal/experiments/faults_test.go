@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"testing"
+
+	"pulphd/internal/emg"
+)
+
+// sweepPrepared builds a small campaign for the robustness sweep.
+func sweepPrepared(t *testing.T) *Prepared {
+	t.Helper()
+	proto := emg.DefaultProtocol()
+	proto.Subjects = 2
+	proto.Seed = 2018
+	return Prepare(proto, 1)
+}
+
+// TestFaultSweepBERZeroMatchesClean pins the sweep's BER=0 column to
+// the uninjected accuracies: the zero-rate channel must be an exact
+// identity end to end (memories, DMA transfers, SVM parameters).
+func TestFaultSweepBERZeroMatchesClean(t *testing.T) {
+	p := sweepPrepared(t)
+	const d = 1000
+	r, err := FaultSweep(p, d, []float64{0}, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recompute the clean means directly, with no fault package in
+	// the path at all.
+	var cleanHD, cleanSVM float64
+	for _, sub := range p.Subjects {
+		hd := trainHD(sub, hdConfigFor(p, d))
+		cleanHD += accuracyOf(func(w LabeledWindow) string {
+			l, _ := hd.Predict(w.Window)
+			return l
+		}, sub.Test)
+		sm, err := trainSubjectSVM(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cleanSVM += accuracyOf(func(w LabeledWindow) string {
+			return sm.Predict(w.Features)
+		}, sub.Test)
+	}
+	cleanHD /= float64(len(p.Subjects))
+	cleanSVM /= float64(len(p.Subjects))
+
+	for pi, name := range r.Platforms {
+		if r.HD[pi][0] != cleanHD {
+			t.Errorf("%s: BER=0 accuracy %.4f, clean %.4f", name, r.HD[pi][0], cleanHD)
+		}
+	}
+	if r.SVM[0] != cleanSVM {
+		t.Errorf("SVM: BER=0 accuracy %.4f, clean %.4f", r.SVM[0], cleanSVM)
+	}
+}
+
+// TestFaultSweepHDOutlivesSVM pins the paper's robustness claim at the
+// sweep's scale: at a 1% bit-error rate the HD classifier on every
+// platform still beats the float-parameter SVM, which has collapsed
+// (every float64 hit w.p. ≈ 47%).
+func TestFaultSweepHDOutlivesSVM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rate sweep in -short mode")
+	}
+	p := sweepPrepared(t)
+	r, err := FaultSweep(p, 2000, []float64{0, 0.01}, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, name := range r.Platforms {
+		if r.HD[pi][1] <= r.SVM[1] {
+			t.Errorf("%s: HD %.4f not above SVM %.4f at BER=1%%", name, r.HD[pi][1], r.SVM[1])
+		}
+		// Graceful: HD at 1% BER stays within 10 points of clean.
+		if r.HD[pi][1] < r.HD[pi][0]-0.10 {
+			t.Errorf("%s: HD dropped from %.4f to %.4f at BER=1%% — not graceful", name, r.HD[pi][0], r.HD[pi][1])
+		}
+	}
+}
+
+// TestFaultSweepDeterministic pins that two runs with the same seed
+// produce the same table.
+func TestFaultSweepDeterministic(t *testing.T) {
+	p := sweepPrepared(t)
+	a, err := FaultSweep(p, 500, []float64{0.02}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultSweep(p, 500, []float64{0.02}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := range a.Platforms {
+		if a.HD[pi][0] != b.HD[pi][0] {
+			t.Errorf("platform %d: %.6f vs %.6f across reruns", pi, a.HD[pi][0], b.HD[pi][0])
+		}
+	}
+	if a.SVM[0] != b.SVM[0] {
+		t.Errorf("SVM: %.6f vs %.6f across reruns", a.SVM[0], b.SVM[0])
+	}
+}

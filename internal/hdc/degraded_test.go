@@ -1,0 +1,123 @@
+package hdc
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pulphd/internal/obs"
+	"pulphd/internal/parallel"
+)
+
+// servingFixture trains a classifier with enough classes to shard and
+// snapshots it into a Serving.
+func servingFixture(t *testing.T, shards int) (*Serving, [][]float64) {
+	t.Helper()
+	cfg := Config{D: 512, Channels: 4, Levels: 10, MinLevel: 0, MaxLevel: 9, NGram: 1, Window: 1, Seed: 21}
+	c := MustNew(cfg)
+	probe := [][]float64{{1, 2, 1, 2}}
+	for cls := 0; cls < 8; cls++ {
+		w := [][]float64{{float64(cls), float64(9 - cls), float64(cls), float64(9 - cls)}}
+		for i := 0; i < 3; i++ {
+			c.Train(fmt.Sprintf("g%d", cls), w)
+		}
+	}
+	return c.Serving(shards), probe
+}
+
+// TestDegradedFallbackOnShardPanic pins the serving hardening: a shard
+// worker panicking mid-search must not kill the process or poison the
+// pool — the predict falls back to the flat scan, returns the same
+// answer, and counts a degraded scan.
+func TestDegradedFallbackOnShardPanic(t *testing.T) {
+	sv, probe := servingFixture(t, 4)
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	ses := sv.NewSession()
+
+	wantLabel, wantDist := ses.Predict(probe) // serial reference
+
+	m := &obs.ServingMetrics{}
+	SetServingMetrics(m)
+	defer SetServingMetrics(nil)
+
+	for _, failing := range []int{0, 2, 3} {
+		fail := failing
+		SetShardChaos(func(sh int) {
+			if sh == fail {
+				panic(fmt.Sprintf("chaos: shard %d down", sh))
+			}
+		})
+		before := m.DegradedScans.Value()
+		label, dist := ses.PredictSharded(pool, probe)
+		if label != wantLabel || dist != wantDist {
+			t.Fatalf("shard %d down: got (%s,%d), want (%s,%d)", fail, label, dist, wantLabel, wantDist)
+		}
+		if m.DegradedScans.Value() != before+1 {
+			t.Fatalf("shard %d down: degraded counter %d, want %d", fail, m.DegradedScans.Value(), before+1)
+		}
+	}
+
+	// Every shard down at once: still a correct degraded answer.
+	SetShardChaos(func(int) { panic("chaos: total shard loss") })
+	label, dist := ses.PredictSharded(pool, probe)
+	if label != wantLabel || dist != wantDist {
+		t.Fatalf("all shards down: got (%s,%d), want (%s,%d)", label, dist, wantLabel, wantDist)
+	}
+
+	// Hook removed: sharded path recovers fully, no further degrades.
+	SetShardChaos(nil)
+	before := m.DegradedScans.Value()
+	label, dist = ses.PredictSharded(pool, probe)
+	if label != wantLabel || dist != wantDist {
+		t.Fatalf("after chaos removed: got (%s,%d), want (%s,%d)", label, dist, wantLabel, wantDist)
+	}
+	if m.DegradedScans.Value() != before {
+		t.Fatalf("degraded counter moved without chaos: %d -> %d", before, m.DegradedScans.Value())
+	}
+
+	// The pool must still be healthy for ordinary collectives.
+	sum := make([]int, pool.Workers()*4)
+	pool.ForRange(len(sum), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum[i] = i
+		}
+	})
+	for i, v := range sum {
+		if v != i {
+			t.Fatalf("pool collective wrong after chaos: sum[%d]=%d", i, v)
+		}
+	}
+}
+
+// TestDegradedFallbackStaged pins the same behavior on the staged
+// (span-recording, metrics-on) predict path.
+func TestDegradedFallbackStaged(t *testing.T) {
+	sv, probe := servingFixture(t, 4)
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	ses := sv.NewSession()
+	wantLabel, wantDist := ses.Predict(probe)
+
+	im := &obs.InferenceMetrics{}
+	SetMetrics(im)
+	defer SetMetrics(nil)
+	sm := &obs.ServingMetrics{}
+	SetServingMetrics(sm)
+	defer SetServingMetrics(nil)
+
+	SetShardChaos(func(sh int) {
+		if sh == 1 {
+			panic("chaos")
+		}
+	})
+	defer SetShardChaos(nil)
+
+	label, dist := ses.PredictCtx(context.Background(), pool, probe)
+	if label != wantLabel || dist != wantDist {
+		t.Fatalf("staged degraded: got (%s,%d), want (%s,%d)", label, dist, wantLabel, wantDist)
+	}
+	if sm.DegradedScans.Value() == 0 {
+		t.Fatal("staged path did not count the degraded scan")
+	}
+}

@@ -32,6 +32,41 @@ import (
 //     breaks majority ties deterministically to 0, like the
 //     accelerator's rule, so no rng stream is involved).
 
+// shardChaosPtr holds the fault hook of the serving search path: when
+// installed, the hook runs before every sharded scan on the worker
+// executing it, and a panic it raises exercises the degraded-mode
+// machinery end to end. It is called only from the Session fan-out —
+// never from ShardedAM.SearchShard itself — so the flat-scan fallback
+// cannot re-enter the fault.
+var shardChaosPtr atomic.Pointer[func(shard int)]
+
+// SetShardChaos installs (or, with nil, removes) a fault-injection
+// hook called with the shard index before every sharded AM scan of
+// every Session. A panicking hook simulates a crashing shard worker:
+// the session converts it into the degraded flat-scan fallback instead
+// of dying. Test and chaos tooling only; keep it nil in production.
+func SetShardChaos(fn func(shard int)) {
+	if fn == nil {
+		shardChaosPtr.Store(nil)
+		return
+	}
+	shardChaosPtr.Store(&fn)
+}
+
+// shardChaos returns the installed chaos hook, or nil.
+func shardChaos() func(shard int) {
+	if p := shardChaosPtr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// failedShard is the sentinel a recovered shard scan leaves in the
+// session scratch: impossible as a real result (SearchShard distances
+// are ≥ 0), it marks the slot for the degraded-mode check without any
+// shared failure flag — each worker writes only its own slots.
+var failedShard = ShardBest{Index: -1, Distance: -1}
+
 // Sample is one labelled training window, the unit Learn and Retrain
 // consume.
 type Sample struct {
@@ -406,15 +441,48 @@ type Session struct {
 func (sv *Serving) NewSession() *Session {
 	s := &Session{sv: sv, ctx: newEncodeCtx(sv.cfg, sv.im, sv.cim)}
 	s.fn = func(lo, hi int) {
-		rec := s.rec
 		for sh := lo; sh < hi; sh++ {
-			id := rec.StartTrack("am.shard", s.searchSpan, int32(1+sh))
-			rec.Annotate(id, "shard", int64(sh))
-			s.scratch[sh] = s.am.SearchShard(sh, s.ctx.query)
-			rec.End(id)
+			s.searchShard(sh)
 		}
 	}
 	return s
+}
+
+// searchShard scans one shard into the session scratch, converting a
+// panic — a chaos hook, a corrupted shard, a crashed worker — into the
+// failedShard sentinel so the collective completes and the caller can
+// fall back to the flat scan. The recover is per shard: the worker's
+// remaining shards still run, and the pool barrier is never abandoned
+// mid-collective.
+func (s *Session) searchShard(sh int) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.scratch[sh] = failedShard
+		}
+	}()
+	if chaos := shardChaos(); chaos != nil {
+		chaos(sh)
+	}
+	rec := s.rec
+	id := rec.StartTrack("am.shard", s.searchSpan, int32(1+sh))
+	rec.Annotate(id, "shard", int64(sh))
+	s.scratch[sh] = s.am.SearchShard(sh, s.ctx.query)
+	rec.End(id)
+}
+
+// reduceOrFallback merges the per-shard results, detecting failed
+// shards (recovered panics) and redoing the whole search as a serial
+// flat scan over the generation's prototypes — degraded but correct:
+// the fallback touches no pool, no chaos hook, and no shard machinery.
+// Degraded scans count in the serving metrics.
+func (s *Session) reduceOrFallback(am *ShardedAM) (int, int) {
+	for _, r := range s.scratch {
+		if r == failedShard {
+			servingMetrics().RecordDegraded()
+			return am.NearestInto(nil, s.ctx.query, nil)
+		}
+	}
+	return Reduce(s.scratch)
 }
 
 // predict encodes window and searches the current generation, fanning
@@ -438,7 +506,7 @@ func (s *Session) predict(pool *parallel.Pool, window [][]float64) (string, int)
 	s.am = am
 	pool.ForRange(n, s.fn)
 	s.am = nil
-	idx, dist := Reduce(s.scratch)
+	idx, dist := s.reduceOrFallback(am)
 	return am.labels[idx], dist
 }
 
@@ -494,7 +562,7 @@ func (s *Session) predictStaged(rec *obs.Spans, m *obs.InferenceMetrics, parent 
 		s.am, s.rec, s.searchSpan = am, rec, search
 		pool.ForRange(n, s.fn)
 		s.am, s.rec, s.searchSpan = nil, nil, obs.NoSpan
-		idx, dist = Reduce(s.scratch)
+		idx, dist = s.reduceOrFallback(am)
 	}
 	rec.End(search)
 	m.RecordStages(encode, time.Since(searchStart))

@@ -429,6 +429,22 @@ func (v Vector) FlipBits(n int, rng *rand.Rand) Vector {
 	return v
 }
 
+// FlipWordMask XORs mask into packed word w in place and returns the
+// number of components flipped. Mask bits above the dimension in the
+// final word are silently dropped, so the tail-masking invariant is
+// preserved for any mask — the primitive the fault-injection layer
+// (internal/fault) applies its per-word flip patterns through.
+func (v Vector) FlipWordMask(w int, mask uint32) int {
+	if w < 0 || w >= len(v.words) {
+		panic(fmt.Sprintf("hv: FlipWordMask: word %d out of range [0,%d)", w, len(v.words)))
+	}
+	if w == len(v.words)-1 {
+		mask &= v.tailMask()
+	}
+	v.words[w] ^= mask
+	return bits.OnesCount32(mask)
+}
+
 // FlipPositions flips the given component indices in place.
 func (v Vector) FlipPositions(positions []int) Vector {
 	for _, p := range positions {

@@ -73,6 +73,10 @@ type StreamMetrics struct {
 	// Corrections counts label-corrected windows folded back into an
 	// online learner via stream.Correct.
 	Corrections Counter
+	// PredictFailures counts pushed windows whose prediction panicked
+	// (e.g. a serving model with no classes yet) and were dropped
+	// instead of killing the stream.
+	PredictFailures Counter
 	// Drift, when non-nil, receives the predicted-vs-corrected label
 	// pairs stream.Correct observes (the online accuracy signal).
 	Drift *DriftMonitor
@@ -114,6 +118,15 @@ func (m *StreamMetrics) RecordCorrection() {
 	m.Corrections.Inc()
 }
 
+// RecordPredictFailure counts one dropped decision whose prediction
+// panicked.
+func (m *StreamMetrics) RecordPredictFailure() {
+	if m == nil {
+		return
+	}
+	m.PredictFailures.Inc()
+}
+
 // RecordFeedback forwards one predicted-vs-actual label pair to the
 // drift monitor (a no-op without one installed).
 func (m *StreamMetrics) RecordFeedback(predicted, actual string) {
@@ -153,6 +166,51 @@ type ServingMetrics struct {
 	// BatchSizes distributes dispatcher drain sizes (powers-of-two
 	// buckets from 1, set up by NewHostMetrics).
 	BatchSizes Histogram
+	// Timeouts counts predict requests answered 504 because the
+	// per-request deadline expired before the dispatcher's result.
+	Timeouts Counter
+	// Retries counts dispatcher predict attempts re-run after a
+	// recovered transient failure (the bounded-backoff retry loop).
+	Retries Counter
+	// PanicsRecovered counts worker/dispatcher panics converted into
+	// 500 responses instead of process death.
+	PanicsRecovered Counter
+	// DegradedScans counts predicts that lost a shard mid-search and
+	// fell back to the flat associative-memory scan.
+	DegradedScans Counter
+}
+
+// RecordTimeout counts one predict request that hit its deadline.
+func (m *ServingMetrics) RecordTimeout() {
+	if m == nil {
+		return
+	}
+	m.Timeouts.Inc()
+}
+
+// RecordRetry counts one re-attempted dispatcher predict.
+func (m *ServingMetrics) RecordRetry() {
+	if m == nil {
+		return
+	}
+	m.Retries.Inc()
+}
+
+// RecordPanicRecovered counts one panic converted into an error
+// response.
+func (m *ServingMetrics) RecordPanicRecovered() {
+	if m == nil {
+		return
+	}
+	m.PanicsRecovered.Inc()
+}
+
+// RecordDegraded counts one flat-scan fallback after a shard failure.
+func (m *ServingMetrics) RecordDegraded() {
+	if m == nil {
+		return
+	}
+	m.DegradedScans.Inc()
 }
 
 // RecordQueueWait folds one request's queue residency.
@@ -207,6 +265,24 @@ func (m *ServingMetrics) RecordServeBatch(n int) {
 	m.Batches.Inc()
 	m.BatchRequests.Add(int64(n))
 	m.BatchSizes.ObserveNanos(int64(n))
+}
+
+// FaultMetrics instruments the fault-injection layer (internal/fault):
+// how many corruption calls ran and how many bits they flipped.
+type FaultMetrics struct {
+	// Injections counts corruption calls that had injection enabled
+	// (BER > 0); FlippedBits counts the bits they actually flipped.
+	Injections  Counter
+	FlippedBits Counter
+}
+
+// RecordInjection folds one corruption call that flipped n bits.
+func (m *FaultMetrics) RecordInjection(n int) {
+	if m == nil {
+		return
+	}
+	m.Injections.Inc()
+	m.FlippedBits.Add(int64(n))
 }
 
 // PoolMetrics instruments parallel.Pool collectives.

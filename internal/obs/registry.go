@@ -273,6 +273,7 @@ type HostMetrics struct {
 	Serving   *ServingMetrics
 	Stream    *StreamMetrics
 	Pool      *PoolMetrics
+	Fault     *FaultMetrics
 	Registry  *Registry
 }
 
@@ -283,6 +284,7 @@ func NewHostMetrics() *HostMetrics {
 		Serving:   &ServingMetrics{},
 		Stream:    &StreamMetrics{Drift: NewDriftMonitor()},
 		Pool:      &PoolMetrics{},
+		Fault:     &FaultMetrics{},
 		Registry:  NewRegistry(),
 	}
 	h.Serving.BatchSizes.SetBase(1)
@@ -315,6 +317,13 @@ func NewHostMetrics() *HostMetrics {
 	r.RegisterCounter("pulphd_serving_batch_requests_total", "requests served through dispatcher batches", &h.Serving.BatchRequests)
 	r.RegisterHistogram("pulphd_serving_queue_wait_ns", "predict queue residency before dispatch in nanoseconds", &h.Serving.QueueWaitNanos)
 	r.RegisterHistogram("pulphd_serving_batch_size", "dispatcher drain sizes (requests per batch; powers-of-two buckets)", &h.Serving.BatchSizes)
+	r.RegisterCounter("pulphd_serving_timeouts_total", "/predict requests answered 504 at their deadline", &h.Serving.Timeouts)
+	r.RegisterCounter("pulphd_serving_retries_total", "dispatcher predict attempts retried after a recovered failure", &h.Serving.Retries)
+	r.RegisterCounter("pulphd_serving_panics_recovered_total", "worker/dispatcher panics converted into error responses", &h.Serving.PanicsRecovered)
+	r.RegisterCounter("pulphd_serving_degraded_scans_total", "predicts that fell back to the flat AM scan after a shard failure", &h.Serving.DegradedScans)
+	r.RegisterCounter("pulphd_stream_predict_failures_total", "stream decisions dropped because prediction panicked", &h.Stream.PredictFailures)
+	r.RegisterCounter("pulphd_fault_injections_total", "fault-injection corruption calls with BER > 0", &h.Fault.Injections)
+	r.RegisterCounter("pulphd_fault_flipped_bits_total", "bits flipped by fault injection", &h.Fault.FlippedBits)
 	r.RegisterCounter("pulphd_pool_collectives_total", "worker-pool collective calls", &h.Pool.Collectives)
 	r.RegisterCounter("pulphd_pool_tasks_total", "chunks run by pool collectives (incl. the caller's)", &h.Pool.Tasks)
 	r.RegisterCounter("pulphd_pool_task_slots_total", "chunks pool collectives could have run (pool width); tasks/slots = utilization", &h.Pool.Slots)

@@ -1,0 +1,45 @@
+package pulp
+
+import (
+	"fmt"
+
+	"pulphd/internal/fault"
+	"pulphd/internal/hv"
+)
+
+// This file adds the data-carrying side of the DMA model: where
+// pulp.Run only accounts cycles for L2→L1 traffic, Transfer actually
+// moves a packed bit buffer and applies the platform's bit-error
+// channel to the copy, simulating write errors into a low-voltage L1
+// TCDM. The source buffer is never modified, and a disabled channel
+// (BER 0, or a platform without a DMA) makes Transfer an exact copy —
+// bit-identical to not simulating the transfer at all.
+
+// Transfer simulates one L2→L1 DMA transfer of a packed bit buffer:
+// it copies src into dst (which must be at least as long) and, when
+// the platform has a DMA with a fault channel configured
+// (DMA.Fault.BER > 0), corrupts the destination copy in place at the
+// given site. It returns the number of bits flipped. validBits bounds
+// the corruptible payload exactly as in fault.Model.CorruptWords.
+func (p Platform) Transfer(site fault.Site, dst, src []uint32, validBits int) int {
+	if len(dst) < len(src) {
+		panic(fmt.Sprintf("pulp: Transfer: dst %d words shorter than src %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+	if !p.DMA.Present || !p.DMA.Fault.Enabled() {
+		return 0
+	}
+	return p.DMA.Fault.CorruptWords(site, dst[:len(src)], validBits)
+}
+
+// TransferVector simulates the DMA transfer of one hypervector into
+// L1: it returns a copy of v with the platform's fault channel applied
+// and the number of components flipped. Without a DMA or with BER 0
+// the copy is bit-identical to v.
+func (p Platform) TransferVector(site fault.Site, v hv.Vector) (hv.Vector, int) {
+	out := v.Clone()
+	if !p.DMA.Present || !p.DMA.Fault.Enabled() {
+		return out, 0
+	}
+	return out, p.DMA.Fault.CorruptVector(site, out)
+}

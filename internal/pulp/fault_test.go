@@ -1,0 +1,82 @@
+package pulp
+
+import (
+	"math/rand"
+	"testing"
+
+	"pulphd/internal/fault"
+	"pulphd/internal/hv"
+)
+
+// TestTransferBERZeroIsExactCopy pins that a transfer with no fault
+// channel — or BER 0 — is bit-identical to a plain copy, on platforms
+// with and without a DMA.
+func TestTransferBERZeroIsExactCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]uint32, 16)
+	for i := range src {
+		src[i] = rng.Uint32()
+	}
+	for _, p := range []Platform{PULPv3Platform(4), WolfPlatform(8, true), CortexM4Platform()} {
+		dst := make([]uint32, len(src))
+		if flips := p.Transfer(fault.SiteOf(fault.PointDMA, 0), dst, src, len(src)*32); flips != 0 {
+			t.Fatalf("%s: BER=0 transfer flipped %d bits", p.Name, flips)
+		}
+		for i := range src {
+			if dst[i] != src[i] {
+				t.Fatalf("%s: word %d not copied exactly", p.Name, i)
+			}
+		}
+		v := hv.NewRandom(500, rng)
+		out, flips := p.TransferVector(fault.SiteOf(fault.PointDMA, 1), v)
+		if flips != 0 || !hv.Equal(out, v) {
+			t.Fatalf("%s: BER=0 TransferVector not identity (%d flips)", p.Name, flips)
+		}
+	}
+}
+
+// TestTransferInjectsDeterministically pins that a faulty DMA corrupts
+// the destination copy — never the source — and that the same channel
+// produces the same flips.
+func TestTransferInjectsDeterministically(t *testing.T) {
+	p := PULPv3Platform(4)
+	p.DMA.Fault = fault.Model{BER: 0.05, Seed: 11}
+
+	rng := rand.New(rand.NewSource(2))
+	v := hv.NewRandom(2000, rng)
+	ref := v.Clone()
+
+	a, fa := p.TransferVector(fault.SiteOf(fault.PointDMA, 3), v)
+	b, fb := p.TransferVector(fault.SiteOf(fault.PointDMA, 3), v)
+	if !hv.Equal(v, ref) {
+		t.Fatal("Transfer corrupted the source vector")
+	}
+	if fa == 0 {
+		t.Fatal("BER=5% over 2000 bits flipped nothing")
+	}
+	if fa != fb || !hv.Equal(a, b) {
+		t.Fatalf("same channel+site disagreed: %d vs %d flips", fa, fb)
+	}
+	if hv.Equal(a, ref) {
+		t.Fatal("transfer output identical to source despite flips")
+	}
+
+	// A platform without a DMA never injects, whatever the model says.
+	m4 := CortexM4Platform()
+	m4.DMA.Fault = fault.Model{BER: 0.5, Seed: 11}
+	out, flips := m4.TransferVector(fault.SiteOf(fault.PointDMA, 3), v)
+	if flips != 0 || !hv.Equal(out, v) {
+		t.Fatal("DMA-less platform injected transfer faults")
+	}
+}
+
+// TestTransferShortDst pins the length check.
+func TestTransferShortDst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst did not panic")
+		}
+	}()
+	p := PULPv3Platform(1)
+	p.Transfer(fault.SiteOf(fault.PointDMA, 0), make([]uint32, 1), make([]uint32, 2), 64)
+}

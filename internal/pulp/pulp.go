@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"pulphd/internal/fault"
 	"pulphd/internal/isa"
 )
 
@@ -56,6 +57,10 @@ type DMAModel struct {
 	// transfers and processing phases can be superimposed" (§3).
 	// Disabling it serializes transfers (ablation).
 	DoubleBuffered bool
+	// Fault is the bit-error channel applied by Platform.Transfer to
+	// data arriving in L1, simulating write errors into a low-voltage
+	// TCDM. The zero value (BER 0) makes transfers exact copies.
+	Fault fault.Model
 }
 
 // transferCycles is the raw cost of moving n bytes.

@@ -161,16 +161,36 @@ func (s *Classifier) record(raw string, dist, sampleIdx int) Decision {
 // Push feeds one time-aligned sample (one value per channel). When a
 // detection period completes and enough history exists for the N-gram
 // window, it returns the decision and true. In steady state Push
-// performs no heap allocation.
+// performs no heap allocation. A predictor that panics on the window
+// (a corrupted model, a crashed serving backend) does not kill the
+// acquisition loop: the decision is dropped, the failure is counted,
+// and the stream keeps running.
 func (s *Classifier) Push(sample []float64) (Decision, bool) {
 	m := metrics()
 	m.RecordSample()
 	if !s.pushSample(sample) {
 		return Decision{}, false
 	}
-	raw, dist := s.cls.Predict(s.window)
+	raw, dist, ok := s.safePredict(s.window)
+	if !ok {
+		return Decision{}, false
+	}
 	m.RecordDecision()
 	return s.record(raw, dist, s.nSamples-1), true
+}
+
+// safePredict classifies one window, converting a predictor panic into
+// a dropped decision: the stride bookkeeping has already advanced, so
+// the stream simply skips this emission and counts the failure.
+func (s *Classifier) safePredict(window [][]float64) (label string, dist int, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			metrics().RecordPredictFailure()
+			ok = false
+		}
+	}()
+	label, dist = s.cls.Predict(window)
+	return label, dist, true
 }
 
 // vote returns the modal label among the recent raw decisions. Ties
@@ -247,25 +267,51 @@ func (s *Classifier) replay(samples [][]float64, pool *parallel.Pool) []Decision
 	if len(windows) == 0 {
 		return nil
 	}
-	var preds []hdc.Prediction
-	switch cls := s.cls.(type) {
-	case *hdc.Classifier:
-		preds = cls.Batch(pool).PredictBatch(windows, nil)
-	case *hdc.Serving:
-		ses := cls.NewSession()
-		preds = ses.PredictBatch(pool, windows, nil)
-	default:
+	preds, ok := s.batchPredict(windows, pool)
+	if !ok {
+		// The batch engine is unavailable (a plain Predictor) or its
+		// collective panicked; classify serially, dropping the windows
+		// whose individual predict fails.
 		preds = make([]hdc.Prediction, len(windows))
 		for i, w := range windows {
-			label, dist := s.cls.Predict(w)
+			label, dist, ok := s.safePredict(w)
+			if !ok {
+				preds[i] = hdc.Prediction{Distance: -1}
+				continue
+			}
 			preds[i] = hdc.Prediction{Label: label, Distance: dist}
 		}
 	}
-	out := make([]Decision, len(preds))
+	out := make([]Decision, 0, len(preds))
 	for i, p := range preds {
-		out[i] = s.record(p.Label, p.Distance, at[i])
+		if p.Distance < 0 {
+			continue // prediction failed; the decision is dropped
+		}
+		out = append(out, s.record(p.Label, p.Distance, at[i]))
 	}
 	return out
+}
+
+// batchPredict runs the batched inference engine over the replay
+// windows. ok is false when the predictor has no batch engine or the
+// batch collective panicked — the panic is recovered and counted, and
+// the caller retries serially without the pool (a panic that escaped
+// mid-collective may have poisoned its barriers).
+func (s *Classifier) batchPredict(windows [][][]float64, pool *parallel.Pool) (preds []hdc.Prediction, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			metrics().RecordPredictFailure()
+			preds, ok = nil, false
+		}
+	}()
+	switch cls := s.cls.(type) {
+	case *hdc.Classifier:
+		return cls.Batch(pool).PredictBatch(windows, nil), true
+	case *hdc.Serving:
+		ses := cls.NewSession()
+		return ses.PredictBatch(pool, windows, nil), true
+	}
+	return nil, false
 }
 
 // Correct folds the stream's current window back into the model under

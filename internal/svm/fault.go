@@ -1,0 +1,68 @@
+package svm
+
+import "pulphd/internal/fault"
+
+// This file applies the bit-error channel of internal/fault to the
+// SVM's parameter memory — the robustness baseline of the paper's
+// §4.1 comparison. Unlike binary hypervector components, every stored
+// parameter is a 64-bit IEEE-754 float, so at a bit-error rate p each
+// parameter is corrupted with probability 1-(1-p)^64, and a single
+// flip in an exponent bit can change a coefficient by orders of
+// magnitude. This is the mechanism behind the SVM's early accuracy
+// collapse in the accuracy-vs-BER sweep, against which HD's graceful
+// degradation is measured. Prediction stays total under corruption:
+// NaN decision values simply fail every vote comparison.
+
+// Clone returns a deep copy of the model — corruption is in place, so
+// robustness sweeps corrupt a fresh clone per bit-error rate while the
+// trained original stays pristine.
+func (m *Model) Clone() *Model {
+	out := &Model{
+		cfg:     m.cfg,
+		classes: append([]string(nil), m.classes...),
+		dim:     m.dim,
+		pairs:   make([]binary, len(m.pairs)),
+	}
+	for i := range m.pairs {
+		p := m.pairs[i]
+		cp := binary{pos: p.pos, neg: p.neg, b: p.b,
+			coef: append([]float64(nil), p.coef...),
+			svs:  make([][]float64, len(p.svs))}
+		for j, sv := range p.svs {
+			cp.svs[j] = append([]float64(nil), sv...)
+		}
+		out.pairs[i] = cp
+	}
+	return out
+}
+
+// InjectBitErrors applies the bit-error model to every stored
+// parameter of the model — all support vectors, coefficients, and
+// biases of every pairwise subproblem — and returns the number of
+// bits flipped. Each stored float array corrupts at its own
+// fault.PointSVM site, numbered in pair-major order, so the flip
+// pattern is deterministic in (seed, model structure). BER 0 changes
+// nothing.
+func (m *Model) InjectBitErrors(fm fault.Model) int {
+	if !fm.Enabled() {
+		return 0
+	}
+	flips := 0
+	site := 0
+	nextSite := func() fault.Site {
+		s := fault.SiteOf(fault.PointSVM, site)
+		site++
+		return s
+	}
+	for i := range m.pairs {
+		p := &m.pairs[i]
+		for _, sv := range p.svs {
+			flips += fm.CorruptFloats(nextSite(), sv)
+		}
+		flips += fm.CorruptFloats(nextSite(), p.coef)
+		bias := []float64{p.b}
+		flips += fm.CorruptFloats(nextSite(), bias)
+		p.b = bias[0]
+	}
+	return flips
+}

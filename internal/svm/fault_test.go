@@ -1,0 +1,87 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+
+	"pulphd/internal/fault"
+)
+
+// toyModel trains a small 3-class SVM on well-separated clusters.
+func toyModel(t *testing.T) (*Model, [][]float64, []string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	centers := map[string][]float64{
+		"a": {0, 0, 0, 0},
+		"b": {10, 10, 10, 10},
+		"c": {0, 10, 0, 10},
+	}
+	var x [][]float64
+	var y []string
+	// Fixed label order: ranging the map directly would desync the
+	// shared rng between two supposedly identical trainings.
+	for _, label := range []string{"a", "b", "c"} {
+		c := centers[label]
+		for i := 0; i < 20; i++ {
+			f := make([]float64, len(c))
+			for j := range f {
+				f[j] = c[j] + rng.NormFloat64()
+			}
+			x = append(x, f)
+			y = append(y, label)
+		}
+	}
+	m, err := Train(x, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, x, y
+}
+
+// TestInjectBitErrorsBERZeroIdentity pins that BER=0 injection leaves
+// every prediction unchanged.
+func TestInjectBitErrorsBERZeroIdentity(t *testing.T) {
+	m, x, _ := toyModel(t)
+	want := make([]string, len(x))
+	for i, f := range x {
+		want[i] = m.Predict(f)
+	}
+	if flips := m.InjectBitErrors(fault.Model{BER: 0, Seed: 1}); flips != 0 {
+		t.Fatalf("BER=0 flipped %d bits", flips)
+	}
+	for i, f := range x {
+		if got := m.Predict(f); got != want[i] {
+			t.Fatalf("BER=0 changed prediction %d: %s != %s", i, got, want[i])
+		}
+	}
+}
+
+// TestInjectBitErrorsDeterministicAndTotal pins that the same channel
+// flips the same bits in two identically-trained models, and that
+// prediction never panics on a heavily corrupted model (NaN decision
+// values lose votes instead of crashing).
+func TestInjectBitErrorsDeterministicAndTotal(t *testing.T) {
+	a, x, _ := toyModel(t)
+	b, _, _ := toyModel(t)
+	ch := fault.Model{BER: 0.01, Seed: 6}
+	fa := a.InjectBitErrors(ch)
+	fb := b.InjectBitErrors(ch)
+	if fa != fb {
+		t.Fatalf("flip counts differ: %d vs %d", fa, fb)
+	}
+	if fa == 0 {
+		t.Fatal("BER=1% flipped nothing in the parameter memory")
+	}
+	for _, f := range x {
+		if a.Predict(f) != b.Predict(f) {
+			t.Fatal("identically corrupted models disagree")
+		}
+	}
+
+	// Saturating corruption must degrade, not crash.
+	c, _, _ := toyModel(t)
+	c.InjectBitErrors(fault.Model{BER: 0.3, Seed: 8})
+	for _, f := range x {
+		_ = c.Predict(f) // must not panic
+	}
+}

@@ -10,6 +10,15 @@ BASE="http://$ADDR"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
+# Fail fast when something already listens on the port: booting the
+# server anyway would make it die on bind while the health poll below
+# talks to the wrong process (or hangs CI until its timeout).
+if (exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}") 2>/dev/null; then
+  exec 3>&- 3<&- || true
+  echo "smoke: $ADDR is already in use — stop the listener or rerun with SMOKE_ADDR=host:port" >&2
+  exit 1
+fi
+
 go build -o "$TMP/pulphd" ./cmd/pulphd
 
 "$TMP/pulphd" serve -metrics-addr "$ADDR" -demo=false -log-level debug \
@@ -80,3 +89,31 @@ wait "$SERVE_PID" || status=$?
 [ "$status" = 0 ] || fail "serve exited $status on SIGTERM, want 0"
 grep -q 'shutdown complete' "$TMP/serve.log" || fail "no shutdown-complete log line"
 echo "smoke: graceful shutdown ok"
+
+# Timeout path: reboot with a 1 ns per-request deadline — every predict
+# must come back 504 (deadline exceeded), the timeout counter must
+# move, and the server must still shut down cleanly.
+"$TMP/pulphd" serve -metrics-addr "$ADDR" -demo=false -predict-timeout 1ns \
+  -log-level debug -log-format json >"$TMP/serve-timeout.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$TMP/serve-timeout.log" >&2; fail "timeout server died during startup"; }
+  [ "$i" = 50 ] && fail "timeout server /healthz never came up"
+  sleep 0.2
+done
+curl -sf -o /dev/null -X POST -d '{"label":"rest","window":[[1,2,3,4]]}' "$BASE/learn" \
+  || fail "POST /learn on timeout server failed"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d '{"window":[[1,2,3,4]]}' "$BASE/predict")
+[ "$code" = 504 ] || fail "/predict under 1ns deadline returned $code, want 504"
+fetch /metrics
+grep -Eq '^pulphd_serving_timeouts_total [1-9]' "$TMP/body" \
+  || fail "/metrics timeout counter did not move"
+kill -TERM "$SERVE_PID"
+status=0
+wait "$SERVE_PID" || status=$?
+[ "$status" = 0 ] || fail "timeout server exited $status on SIGTERM, want 0"
+echo "smoke: predict timeout path ok (504 + counter)"

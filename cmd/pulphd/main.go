@@ -30,6 +30,7 @@ import (
 	"pulphd/internal/eeg"
 	"pulphd/internal/emg"
 	"pulphd/internal/experiments"
+	"pulphd/internal/hdc"
 )
 
 var (
@@ -39,6 +40,7 @@ var (
 	format     = flag.String("format", "text", "output format: text, csv or json")
 	verbose    = flag.Bool("v", false, "print timing per experiment")
 	faultSeed  = flag.Int64("fault-seed", 4242, "bit-error injection seed for the faults sweep")
+	imBackend  = flag.String("im-backend", "stored", "item-memory backend: stored (materialized vectors) or remat (seed-expanded on the fly)")
 )
 
 type runner func(*experiments.Prepared) (*experiments.Table, error)
@@ -177,12 +179,19 @@ func main() {
 		names = append(names, a)
 	}
 
+	backend, err := hdc.ParseBackend(*imBackend)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pulphd: %v\n", err)
+		os.Exit(2)
+	}
+
 	proto := emg.DefaultProtocol()
 	proto.Seed = *seed
 	proto.Subjects = *subjects
 	proto.Difficulty = *difficulty
 	start := time.Now()
 	prepared := experiments.Prepare(proto, 1)
+	prepared.Backend = backend
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "dataset prepared in %v\n", time.Since(start).Round(time.Millisecond))
 	}

@@ -85,8 +85,10 @@ func newMetricsMux(h *obs.HostMetrics) *http.ServeMux {
 // loops the test session through the streaming front end — Push
 // sample by sample, then a batched Replay over the pool — so every
 // instrumented path exercises continuously while the server is up.
-func demoWorkload(p *experiments.Prepared, workers int, rounds int) error {
-	cls, err := hdc.New(hdc.EMGConfig())
+func demoWorkload(p *experiments.Prepared, backend hdc.Backend, workers int, rounds int) error {
+	cfg := hdc.EMGConfig()
+	cfg.Backend = backend
+	cls, err := hdc.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -122,11 +124,13 @@ func demoWorkload(p *experiments.Prepared, workers int, rounds int) error {
 // demo data it is the paper's EMG classifier trained on one prepared
 // subject and snapshotted into a serving instance; without, it starts
 // empty and is taught entirely through /learn.
-func newServingModel(prepared *experiments.Prepared, shards int) (*hdc.Serving, error) {
+func newServingModel(prepared *experiments.Prepared, backend hdc.Backend, shards int) (*hdc.Serving, error) {
+	cfg := hdc.EMGConfig()
+	cfg.Backend = backend
 	if prepared == nil {
-		return hdc.NewServing(hdc.EMGConfig(), shards)
+		return hdc.NewServing(cfg, shards)
 	}
-	cls, err := hdc.New(hdc.EMGConfig())
+	cls, err := hdc.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -153,6 +157,7 @@ func runServe(args []string) int {
 	predictRetries := fs.Int("predict-retries", 2, "bounded retries after a recovered predict panic before answering 500")
 	retryBackoff := fs.Duration("retry-backoff", 2*time.Millisecond, "initial backoff between predict retries, doubling per attempt")
 	chaosShard := fs.Int("chaos-shard", -1, "fault injection: panic every sharded scan of this AM shard index, exercising the degraded flat-scan fallback (-1 disables)")
+	imBackend := fs.String("im-backend", "stored", "item-memory backend for the served model: stored or remat")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pulphd serve [-metrics-addr host:port] [-shards n] [-queue-depth n] [-max-batch n] [-log-level l] [-trace-requests n]\n\n")
 		fmt.Fprintf(os.Stderr, "Serves the online-learning model over HTTP — POST /predict classifies a\n")
@@ -170,6 +175,11 @@ func runServe(args []string) int {
 		fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
 		return 2
 	}
+	backend, err := hdc.ParseBackend(*imBackend)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
+		return 2
+	}
 	h := enableHostMetrics()
 	obs.RegisterRuntimeMetrics(h.Registry)
 	mux := newMetricsMux(h)
@@ -181,12 +191,13 @@ func runServe(args []string) int {
 		proto.Subjects = 1
 		prepared = experiments.Prepare(proto, 1)
 	}
-	sv, err := newServingModel(prepared, *shards)
+	sv, err := newServingModel(prepared, backend, *shards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
 		return 1
 	}
 	h.Serving.RecordModel(sv.Generation(), sv.Classes(), sv.AM().Shards())
+	h.Serving.RecordFootprint(sv.ResidentBytes())
 	pool := parallel.NewPool(*workers)
 	defer pool.Close()
 	api := newAPIServer(sv, pool, *queueDepth, *maxBatch, h.Serving)
@@ -214,7 +225,7 @@ func runServe(args []string) int {
 		go rtpprof.Do(context.Background(), rtpprof.Labels("task", "demo-workload"),
 			func(context.Context) {
 				for {
-					if err := demoWorkload(prepared, *workers, 1); err != nil {
+					if err := demoWorkload(prepared, backend, *workers, 1); err != nil {
 						logger.Error("demo workload", "error", err)
 						return
 					}

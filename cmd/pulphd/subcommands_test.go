@@ -102,7 +102,7 @@ func TestServeEndpoints(t *testing.T) {
 	proto.Subjects = 1
 	proto.Repetitions = 4
 	prepared := experiments.Prepare(proto, 1)
-	if err := demoWorkload(prepared, 2, 1); err != nil {
+	if err := demoWorkload(prepared, hdc.BackendRemat, 2, 1); err != nil {
 		t.Fatal(err)
 	}
 

@@ -33,11 +33,12 @@ type AccuracyResult struct {
 }
 
 // hdConfigFor returns the EMG classifier configuration at dimension d
-// for the prepared campaign's channel count.
+// for the prepared campaign's channel count and item-memory backend.
 func hdConfigFor(p *Prepared, d int) hdc.Config {
 	cfg := hdc.EMGConfig()
 	cfg.D = d
 	cfg.Channels = p.Protocol.Channels
+	cfg.Backend = p.Backend
 	return cfg
 }
 

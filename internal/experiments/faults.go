@@ -63,12 +63,13 @@ func corruptedHDCopy(trained *hdc.Classifier, plat pulp.Platform, m fault.Model)
 		p := plat
 		p.DMA.Fault = m
 		// One simulated L2→L1 load of the inference working set. The
-		// destination aliases the source words: the L1-resident copy is
-		// the only one inference reads. AM sites follow the IM sites.
-		for i := 0; i < cp.IM().Len(); i++ {
-			v := cp.IM().Vector(i)
-			p.Transfer(fault.SiteOf(fault.PointDMA, i), v.Words(), v.Words(), v.Dim())
-		}
+		// IM transfer goes through CorruptTransfer so it works on both
+		// backends: the stored one corrupts each row in place (bit-
+		// identical to an aliasing Platform.Transfer at the same DMA
+		// sites), the rematerialized one composes the same masks into
+		// its generators. AM sites follow the IM sites; prototypes are
+		// always stored, so they transfer in place.
+		cp.IM().CorruptTransfer(m)
 		base := cp.IM().Len()
 		for c := 0; c < cp.AM().Classes(); c++ {
 			v := cp.AM().Prototype(c)

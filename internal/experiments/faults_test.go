@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pulphd/internal/emg"
+	"pulphd/internal/hdc"
 )
 
 // sweepPrepared builds a small campaign for the robustness sweep.
@@ -76,6 +77,37 @@ func TestFaultSweepHDOutlivesSVM(t *testing.T) {
 		// Graceful: HD at 1% BER stays within 10 points of clean.
 		if r.HD[pi][1] < r.HD[pi][0]-0.10 {
 			t.Errorf("%s: HD dropped from %.4f to %.4f at BER=1%% — not graceful", name, r.HD[pi][0], r.HD[pi][1])
+		}
+	}
+}
+
+// TestFaultSweepRematBackend pins the satellite criterion: the fault
+// sweep runs unchanged on the rematerializing backend — faults compose
+// into the generators instead of corrupting stored rows — with the
+// same identity at BER 0 and graceful degradation at 1%.
+func TestFaultSweepRematBackend(t *testing.T) {
+	p := sweepPrepared(t)
+	p.Backend = hdc.BackendRemat
+	const d = 1000
+	r, err := FaultSweep(p, d, []float64{0, 0.01}, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cleanHD float64
+	for _, sub := range p.Subjects {
+		hd := trainHD(sub, hdConfigFor(p, d))
+		cleanHD += accuracyOf(func(w LabeledWindow) string {
+			l, _ := hd.Predict(w.Window)
+			return l
+		}, sub.Test)
+	}
+	cleanHD /= float64(len(p.Subjects))
+	for pi, name := range r.Platforms {
+		if r.HD[pi][0] != cleanHD {
+			t.Errorf("%s: remat BER=0 accuracy %.4f, clean %.4f", name, r.HD[pi][0], cleanHD)
+		}
+		if r.HD[pi][1] < r.HD[pi][0]-0.10 {
+			t.Errorf("%s: remat HD dropped from %.4f to %.4f at BER=1%% — not graceful", name, r.HD[pi][0], r.HD[pi][1])
 		}
 	}
 }

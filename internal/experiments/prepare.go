@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"pulphd/internal/emg"
+	"pulphd/internal/hdc"
 )
 
 // LabeledWindow is one classification instance: the sample window the
@@ -37,6 +38,10 @@ type PreparedSubject struct {
 type Prepared struct {
 	Protocol emg.Protocol
 	Subjects []PreparedSubject
+	// Backend selects the HD item-memory backend every experiment's
+	// classifiers are built with (the -im-backend flag). The zero
+	// value is the stored baseline.
+	Backend hdc.Backend
 }
 
 // Strides control how densely trials are sampled into classification

@@ -107,21 +107,13 @@ func (m Model) Validate() error {
 	return nil
 }
 
-// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix
-// used as the counter-based hash behind every flip decision.
-func splitmix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
-
 // uniform returns a deterministic uniform in [0,1) for (seed, site,
-// counter) with 53 bits of precision.
+// counter) with 53 bits of precision. The hash is hv.Splitmix64 — the
+// same counter-based mix the rematerializing item-memory backend
+// expands its rows with, which is why the two compose: both are pure
+// functions of (seed, site, counter) with no sequential state.
 func uniform(seed uint64, site Site, counter uint64) float64 {
-	h := splitmix64((seed ^ splitmix64(uint64(site))) + 0x9e3779b97f4a7c15*counter)
+	h := hv.Splitmix64((seed ^ hv.Splitmix64(uint64(site))) + 0x9e3779b97f4a7c15*counter)
 	return float64(h>>11) * (1.0 / (1 << 53))
 }
 
@@ -139,9 +131,13 @@ func (m Model) Flips(site Site, bit int) bool {
 	return uniform(uint64(m.Seed), site, uint64(bit)) < m.BER
 }
 
-// wordMask returns the 32-bit flip mask for packed word w of site,
-// restricted to the first validBits components of the vector.
-func (m Model) wordMask(site Site, w, validBits int) uint32 {
+// Mask32 returns the 32-bit flip mask for packed word w of site,
+// restricted to the first validBits components of the vector: bit b of
+// the result is set exactly when Flips(site, 32w+b) and 32w+b <
+// validBits. XORing this mask into a word applies the channel, which
+// is how rematerialized (generated-on-the-fly) hypervectors compose
+// fault injection without ever storing the corrupted vector.
+func (m Model) Mask32(site Site, w, validBits int) uint32 {
 	var mask uint32
 	base := w * 32
 	n := validBits - base
@@ -154,6 +150,33 @@ func (m Model) wordMask(site Site, w, validBits int) uint32 {
 		}
 	}
 	return mask
+}
+
+// Mask64 returns the flip mask for 64-bit block j of site (packed
+// words 2j and 2j+1, low word in the low half) restricted to validBits
+// components — the block form the rematerializing encode inner loop
+// consumes.
+func (m Model) Mask64(site Site, j, validBits int) uint64 {
+	return uint64(m.Mask32(site, 2*j, validBits)) |
+		uint64(m.Mask32(site, 2*j+1, validBits))<<32
+}
+
+// CountFlips returns the number of bits the channel flips across the
+// first validBits components of site, and records the injection in the
+// installed metrics sink. It is the bookkeeping half of corrupting a
+// rematerialized vector family: the flips themselves happen lazily at
+// generation time (Mask32/Mask64), but the count and the metrics must
+// match what corrupting a stored copy would have reported.
+func (m Model) CountFlips(site Site, validBits int) (flips int) {
+	if !m.Enabled() || validBits <= 0 {
+		return 0
+	}
+	nw := (validBits + 31) / 32
+	for w := 0; w < nw; w++ {
+		flips += popcount32(m.Mask32(site, w, validBits))
+	}
+	recordInjection(flips)
+	return flips
 }
 
 // CorruptWords applies the channel in place to a packed bit buffer of
@@ -170,7 +193,7 @@ func (m Model) CorruptWords(site Site, words []uint32, validBits int) (flips int
 	}
 	nw := (validBits + 31) / 32
 	for w := 0; w < nw; w++ {
-		if mask := m.wordMask(site, w, validBits); mask != 0 {
+		if mask := m.Mask32(site, w, validBits); mask != 0 {
 			words[w] ^= mask
 			flips += popcount32(mask)
 		}
@@ -188,7 +211,7 @@ func (m Model) CorruptVector(site Site, v hv.Vector) (flips int) {
 	}
 	d := v.Dim()
 	for w := 0; w < v.NumWords(); w++ {
-		if mask := m.wordMask(site, w, d); mask != 0 {
+		if mask := m.Mask32(site, w, d); mask != 0 {
 			flips += v.FlipWordMask(w, mask)
 		}
 	}

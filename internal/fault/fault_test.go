@@ -115,7 +115,7 @@ func TestWorkerCountIndependence(t *testing.T) {
 				// exactly the whole-buffer pattern.
 				for i := lo; i < hi; i++ {
 					sub := split[i : i+1]
-					if mask := m.wordMask(SiteOf(PointDMA, 1), i, words*32); mask != 0 {
+					if mask := m.Mask32(SiteOf(PointDMA, 1), i, words*32); mask != 0 {
 						sub[0] ^= mask
 					}
 				}

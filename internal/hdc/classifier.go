@@ -33,6 +33,12 @@ type Config struct {
 	Window int
 	// Seed makes item memory generation and tie-breaking reproducible.
 	Seed int64
+	// Backend selects how the item memories hold their rows: stored
+	// matrices (the zero value, the paper's layout) or rematerialized
+	// seed expansion (BackendRemat, see remat.go). The backends are
+	// distinct vector families — a model trained on one does not
+	// transfer to the other.
+	Backend Backend
 }
 
 // EMGConfig returns the paper's EMG hand-gesture configuration:
@@ -68,8 +74,26 @@ func (c Config) validate() error {
 		return fmt.Errorf("hdc: N-gram size %d must be ≥1", c.NGram)
 	case c.Window < c.NGram:
 		return fmt.Errorf("hdc: window %d shorter than N-gram %d", c.Window, c.NGram)
+	case c.Backend > BackendRemat:
+		return fmt.Errorf("hdc: unknown item-memory backend %d", c.Backend)
 	}
 	return nil
+}
+
+// newConfigIM builds the item memory for cfg's backend.
+func newConfigIM(cfg Config) *ItemMemory {
+	if cfg.Backend == BackendRemat {
+		return NewRematItemMemory(cfg.D, cfg.Channels, cfg.Seed)
+	}
+	return NewItemMemory(cfg.D, cfg.Channels, cfg.Seed)
+}
+
+// newConfigCIM builds the continuous item memory for cfg's backend.
+func newConfigCIM(cfg Config) *ContinuousItemMemory {
+	if cfg.Backend == BackendRemat {
+		return NewRematContinuousItemMemory(cfg.D, cfg.Levels, cfg.MinLevel, cfg.MaxLevel, cfg.Seed+1)
+	}
+	return NewContinuousItemMemory(cfg.D, cfg.Levels, cfg.MinLevel, cfg.MaxLevel, cfg.Seed+1)
 }
 
 // Classifier is the end-to-end HD classifier: CIM/IM mapping, spatial
@@ -99,8 +123,8 @@ func New(cfg Config) (*Classifier, error) {
 	}
 	c := &Classifier{
 		cfg:    cfg,
-		im:     NewItemMemory(cfg.D, cfg.Channels, cfg.Seed),
-		cim:    NewContinuousItemMemory(cfg.D, cfg.Levels, cfg.MinLevel, cfg.MaxLevel, cfg.Seed+1),
+		im:     newConfigIM(cfg),
+		cim:    newConfigCIM(cfg),
 		am:     NewAssociativeMemory(cfg.D, cfg.Seed+2),
 		rng:    rand.New(rand.NewSource(cfg.Seed + 3)),
 		ngram:  hv.New(cfg.D),
@@ -245,13 +269,20 @@ func (c *Classifier) Footprint(assumeClasses int) MemoryFootprint {
 	if bound%2 == 0 {
 		bound++ // tie-break vector
 	}
+	boundBytes := bound * words * 4
+	if c.cfg.Backend == BackendRemat {
+		// The fused encoder holds one 64-bit block per majority input
+		// and one quantized level per channel instead of full bound
+		// vectors — the L1 working-set collapse of rematerialization.
+		boundBytes = bound*8 + c.cfg.Channels*8
+	}
 	return MemoryFootprint{
 		CIMBytes:     c.cim.SizeBytes(),
 		IMBytes:      c.im.SizeBytes(),
 		AMBytes:      classes * words * 4,
 		SpatialBytes: words * 4,
 		NGramBytes:   words * 4,
-		BoundBytes:   bound * words * 4,
+		BoundBytes:   boundBytes,
 	}
 }
 

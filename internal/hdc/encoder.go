@@ -19,21 +19,35 @@ import (
 type SpatialEncoder struct {
 	im  *ItemMemory
 	cim *ContinuousItemMemory
-	// scratch bound vectors, reused across calls.
+	// scratch bound vectors, reused across calls (stored backend).
 	bound []hv.Vector
+	// scratch for the fused rematerializing path (remat backend): the
+	// quantized level per channel and one 64-bit block per majority
+	// input — the whole per-call working set.
+	levels []int
+	blocks []uint64
 }
 
 // NewSpatialEncoder builds a spatial encoder over the given item
-// memories, which must share a dimensionality.
+// memories, which must share a dimensionality and a backend.
 func NewSpatialEncoder(im *ItemMemory, cim *ContinuousItemMemory) *SpatialEncoder {
 	if im.Dim() != cim.Dim() {
 		panic(fmt.Sprintf("hdc: NewSpatialEncoder: IM dim %d != CIM dim %d", im.Dim(), cim.Dim()))
+	}
+	if im.Backend() != cim.Backend() {
+		panic(fmt.Sprintf("hdc: NewSpatialEncoder: IM backend %v != CIM backend %v", im.Backend(), cim.Backend()))
 	}
 	n := im.Len()
 	if n%2 == 0 {
 		n++ // room for the tie-break vector
 	}
-	enc := &SpatialEncoder{im: im, cim: cim, bound: make([]hv.Vector, n)}
+	enc := &SpatialEncoder{im: im, cim: cim}
+	if im.Backend() == BackendRemat {
+		enc.levels = make([]int, im.Len())
+		enc.blocks = make([]uint64, n)
+		return enc
+	}
+	enc.bound = make([]hv.Vector, n)
 	for i := range enc.bound {
 		enc.bound[i] = hv.New(im.Dim())
 	}
@@ -55,11 +69,16 @@ func (e *SpatialEncoder) Encode(samples []float64) hv.Vector {
 }
 
 // EncodeTo is Encode without the allocation; dst must have the encoder
-// dimensionality.
+// dimensionality. With the rematerializing backend the call runs the
+// fused seed-expansion kernel (remat.go) instead of loading rows.
 func (e *SpatialEncoder) EncodeTo(dst hv.Vector, samples []float64) {
 	c := e.im.Len()
 	if len(samples) != c {
 		panic(fmt.Sprintf("hdc: SpatialEncoder.Encode: %d samples for %d channels", len(samples), c))
+	}
+	if e.im.rem != nil {
+		e.encodeRematTo(dst, samples)
+		return
 	}
 	for i := 0; i < c; i++ {
 		hv.XorTo(e.bound[i], e.im.Vector(i), e.cim.Vector(samples[i]))

@@ -11,8 +11,14 @@ import "pulphd/internal/fault"
 
 // Corrupt applies the bit-error model to every seed hypervector of
 // the item memory and returns the total number of flipped components.
-// Item i corrupts at site fault.SiteOf(fault.PointIM, i).
+// Item i corrupts at site fault.SiteOf(fault.PointIM, i). A
+// rematerialized memory has no stored rows to flip; the channel is
+// composed into the generators instead (see remat.go), producing rows
+// bit-identical to corrupting stored copies.
 func (im *ItemMemory) Corrupt(m fault.Model) int {
+	if im.rem != nil {
+		return composeFault(&im.rem.faults, m, fault.PointIM, len(im.rem.keys), im.d)
+	}
 	flips := 0
 	for i, v := range im.items {
 		flips += m.CorruptVector(fault.SiteOf(fault.PointIM, i), v)
@@ -20,11 +26,32 @@ func (im *ItemMemory) Corrupt(m fault.Model) int {
 	return flips
 }
 
+// CorruptTransfer applies a DMA bit-error model to the item memory —
+// the simulated L2→L1 transfer of the encode working set, one
+// fault.PointDMA site per row. The stored backend corrupts each row in
+// place exactly like pulp.Platform.Transfer onto itself; the
+// rematerialized backend composes the same deterministic masks into
+// its generators, so both backends yield bit-identical rows.
+func (im *ItemMemory) CorruptTransfer(m fault.Model) int {
+	if im.rem != nil {
+		return composeFault(&im.rem.faults, m, fault.PointDMA, len(im.rem.keys), im.d)
+	}
+	flips := 0
+	for i, v := range im.items {
+		flips += m.CorruptVector(fault.SiteOf(fault.PointDMA, i), v)
+	}
+	return flips
+}
+
 // Corrupt applies the bit-error model to every prestored level
 // hypervector of the continuous item memory and returns the total
 // number of flipped components. Level l corrupts at site
-// fault.SiteOf(fault.PointCIM, l).
+// fault.SiteOf(fault.PointCIM, l). A rematerialized CIM composes the
+// channel into its generators, like ItemMemory.Corrupt.
 func (c *ContinuousItemMemory) Corrupt(m fault.Model) int {
+	if c.rem != nil {
+		return composeFault(&c.rem.faults, m, fault.PointCIM, c.n, c.d)
+	}
 	flips := 0
 	for l, v := range c.levels {
 		flips += m.CorruptVector(fault.SiteOf(fault.PointCIM, l), v)

@@ -1,0 +1,351 @@
+package hdc
+
+import (
+	"fmt"
+
+	"pulphd/internal/fault"
+	"pulphd/internal/hv"
+)
+
+// This file implements the rematerializing item-memory backend
+// (Schmuck, Benini & Rahimi, arXiv:1807.08583): instead of storing the
+// IM and CIM as packed matrices, only 64-bit expansion keys are kept
+// and every row is regenerated block-by-block (hv.ExpandBlock) inside
+// the encode inner loop. Bind (XOR) and bundle (block majority)
+// consume generated blocks directly — incremental binarized bundling —
+// so a full hypervector of the item memories never exists in memory
+// and the model working set shrinks from matrices (~320 kB for 256
+// channels at 10,000-D) to a few cache lines of keys.
+//
+// The CIM interpolation is redesigned for expansion: level l is
+//
+//	base ⊕ (flip ∧ prefix(cut_l)),   cut_l = d·l/(L-1)
+//
+// where base and flip are two independent expanded rows and
+// prefix(cut) masks the first cut components. Distances between levels
+// are exactly nested — d(level a, level b) counts the flip-row ones in
+// [cut_a, cut_b) — so they grow monotonically with level separation,
+// and the endpoints differ in the flip row's ones (≈ d/2, i.i.d.
+// density 1/2), matching the stored CIM's orthogonal endpoints. Cuts
+// are computed from the construction dimension and kept across
+// Truncate, so truncated rows are exact prefixes of the full ones.
+//
+// Fault injection composes instead of corrupting storage: a bit-error
+// model applied to a rematerialized memory is remembered and its
+// deterministic flip mask (fault.Model.Mask64, a pure function of
+// seed, site and bit index) is XORed into every generated block — bit-
+// identical to corrupting a stored copy of the same rows.
+
+// Backend selects how a classifier's item memories hold their
+// hypervectors.
+type Backend uint8
+
+// BackendStored is the paper's baseline: IM rows and CIM levels are
+// generated once at construction and stored as packed matrices. It is
+// the zero value, so existing configurations are unchanged.
+const BackendStored Backend = 0
+
+// BackendRemat stores only expansion keys and regenerates every row
+// word-by-word inside the encode loop.
+const BackendRemat Backend = 1
+
+// String returns the backend's flag spelling.
+func (b Backend) String() string {
+	switch b {
+	case BackendStored:
+		return "stored"
+	case BackendRemat:
+		return "remat"
+	}
+	return fmt.Sprintf("Backend(%d)", uint8(b))
+}
+
+// ParseBackend parses a -im-backend flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "stored":
+		return BackendStored, nil
+	case "remat":
+		return BackendRemat, nil
+	}
+	return 0, fmt.Errorf("hdc: unknown item-memory backend %q (want stored or remat)", s)
+}
+
+// Expansion domains separating the rematerialized vector families
+// under one model seed (the domain tag of hv.RowKey).
+const (
+	domainIM      uint32 = 1
+	domainCIMBase uint32 = 2
+	domainCIMFlip uint32 = 3
+)
+
+// rematFault is one composed bit-error channel: a rematerialized
+// memory has no stored bits to flip, so Corrupt remembers the model
+// and every generated block XORs in its deterministic mask.
+type rematFault struct {
+	m fault.Model
+	p fault.Point
+}
+
+// mask64 returns the channel's flip mask for block j of row index.
+func (f rematFault) mask64(index, j, d int) uint64 {
+	return f.m.Mask64(fault.SiteOf(f.p, index), j, d)
+}
+
+// composeFault registers a bit-error channel on a rematerialized
+// family of rows and returns the number of components it flips —
+// counted eagerly (and recorded in the fault metrics) so the report
+// matches what corrupting stored copies would have said, while the
+// flips themselves happen lazily at generation time.
+func composeFault(faults *[]rematFault, m fault.Model, p fault.Point, rows, d int) int {
+	if !m.Enabled() {
+		return 0
+	}
+	*faults = append(*faults, rematFault{m: m, p: p})
+	flips := 0
+	for i := 0; i < rows; i++ {
+		flips += m.CountFlips(fault.SiteOf(p, i), d)
+	}
+	return flips
+}
+
+// rematIM is the generator state of a rematerialized item memory: one
+// expansion key per item, plus any composed fault channels.
+type rematIM struct {
+	keys   []uint64
+	faults []rematFault
+}
+
+// block returns 64-bit block j of item row i with every composed
+// bit-error channel applied.
+func (r *rematIM) block(i, j, d int) uint64 {
+	x := hv.ExpandBlock(r.keys[i], j)
+	for _, f := range r.faults {
+		x ^= f.mask64(i, j, d)
+	}
+	return x
+}
+
+// clone returns a deep copy, decoupling later Corrupt calls.
+func (r *rematIM) clone() *rematIM {
+	return &rematIM{
+		keys:   append([]uint64(nil), r.keys...),
+		faults: append([]rematFault(nil), r.faults...),
+	}
+}
+
+// rematCIM is the generator state of a rematerialized continuous item
+// memory: the base and flip row keys and the per-level prefix cuts.
+type rematCIM struct {
+	baseKey uint64
+	flipKey uint64
+	// cuts[l] is the number of flip-row components applied at level l,
+	// computed from the construction dimension and deliberately kept
+	// across Truncate so truncated rows stay exact prefixes.
+	cuts   []int
+	faults []rematFault
+}
+
+// block returns 64-bit block j of level row l with every composed
+// bit-error channel applied.
+func (r *rematCIM) block(l, j, d int) uint64 {
+	x := hv.ExpandBlock(r.baseKey, j)
+	if m := hv.PrefixMask64(r.cuts[l], j); m != 0 {
+		x ^= hv.ExpandBlock(r.flipKey, j) & m
+	}
+	for _, f := range r.faults {
+		x ^= f.mask64(l, j, d)
+	}
+	return x
+}
+
+// clone returns a deep copy, decoupling later Corrupt calls.
+func (r *rematCIM) clone() *rematCIM {
+	return &rematCIM{
+		baseKey: r.baseKey,
+		flipKey: r.flipKey,
+		cuts:    append([]int(nil), r.cuts...),
+		faults:  append([]rematFault(nil), r.faults...),
+	}
+}
+
+// NewRematItemMemory builds a rematerializing item memory of n rows:
+// only the n expansion keys are stored; rows regenerate on demand.
+func NewRematItemMemory(d, n int, seed int64) *ItemMemory {
+	if n <= 0 {
+		panic(fmt.Sprintf("hdc: NewRematItemMemory: need at least one item, got %d", n))
+	}
+	r := &rematIM{keys: make([]uint64, n)}
+	for i := range r.keys {
+		r.keys[i] = hv.RowKey(uint64(seed), domainIM, uint32(i))
+	}
+	return &ItemMemory{d: d, rem: r}
+}
+
+// NewRematContinuousItemMemory builds a rematerializing CIM over the
+// analog range [min, max]: two expansion keys and one cut per level
+// replace the stored level matrix. It panics for fewer than 2 levels
+// or an empty range, like NewContinuousItemMemory.
+func NewRematContinuousItemMemory(d, levels int, min, max float64, seed int64) *ContinuousItemMemory {
+	if levels < 2 {
+		panic(fmt.Sprintf("hdc: NewRematContinuousItemMemory: need at least 2 levels, got %d", levels))
+	}
+	if max <= min {
+		panic(fmt.Sprintf("hdc: NewRematContinuousItemMemory: empty range [%g,%g]", min, max))
+	}
+	r := &rematCIM{
+		baseKey: hv.RowKey(uint64(seed), domainCIMBase, 0),
+		flipKey: hv.RowKey(uint64(seed), domainCIMFlip, 0),
+		cuts:    make([]int, levels),
+	}
+	for l := range r.cuts {
+		r.cuts[l] = d * l / (levels - 1)
+	}
+	return &ContinuousItemMemory{d: d, min: min, max: max, n: levels, rem: r}
+}
+
+// Backend reports which backend holds the item memory's rows.
+func (im *ItemMemory) Backend() Backend {
+	if im.rem != nil {
+		return BackendRemat
+	}
+	return BackendStored
+}
+
+// Backend reports which backend holds the CIM's level rows.
+func (c *ContinuousItemMemory) Backend() Backend {
+	if c.rem != nil {
+		return BackendRemat
+	}
+	return BackendStored
+}
+
+// writeBlock stores 64-bit block j into a packed word buffer, low word
+// in the low half (the hv layout).
+func writeBlock(words []uint32, j int, b uint64) {
+	words[2*j] = uint32(b)
+	if 2*j+1 < len(words) {
+		words[2*j+1] = uint32(b >> 32)
+	}
+}
+
+// maskTail32 clears the packed bits at or above dimension d.
+func maskTail32(words []uint32, d int) {
+	if r := d % 32; r != 0 {
+		words[len(words)-1] &= uint32(1)<<uint(r) - 1
+	}
+}
+
+// materializeRow builds the full vector of item i — the stored form of
+// the expansion, used by Vector and Materialize and pinned
+// bit-identical to the fused encode by the equivalence tests. The
+// fused path never calls it.
+func (im *ItemMemory) materializeRow(i int) hv.Vector {
+	v := hv.New(im.d)
+	w := v.Words()
+	for j := 0; 2*j < len(w); j++ {
+		writeBlock(w, j, im.rem.block(i, j, im.d))
+	}
+	maskTail32(w, im.d)
+	return v
+}
+
+// materializeLevel builds the full vector of level l.
+func (c *ContinuousItemMemory) materializeLevel(l int) hv.Vector {
+	v := hv.New(c.d)
+	w := v.Words()
+	for j := 0; 2*j < len(w); j++ {
+		writeBlock(w, j, c.rem.block(l, j, c.d))
+	}
+	maskTail32(w, c.d)
+	return v
+}
+
+// Materialize returns a stored-backend item memory whose rows are
+// bit-identical to the rematerialized ones, composed faults included —
+// the bridge the equivalence tests pin the fused encode against. A
+// stored-backend memory returns itself.
+func (im *ItemMemory) Materialize() *ItemMemory {
+	if im.rem == nil {
+		return im
+	}
+	out := &ItemMemory{d: im.d, items: make([]hv.Vector, len(im.rem.keys))}
+	for i := range out.items {
+		out.items[i] = im.materializeRow(i)
+	}
+	return out
+}
+
+// Materialize returns a stored-backend CIM whose level rows are
+// bit-identical to the rematerialized ones, composed faults included.
+// A stored-backend CIM returns itself.
+func (c *ContinuousItemMemory) Materialize() *ContinuousItemMemory {
+	if c.rem == nil {
+		return c
+	}
+	out := &ContinuousItemMemory{d: c.d, min: c.min, max: c.max, n: c.n, levels: make([]hv.Vector, c.n)}
+	for l := range out.levels {
+		out.levels[l] = c.materializeLevel(l)
+	}
+	return out
+}
+
+// encodeRematTo is the fused spatial encode of the rematerializing
+// backend: for each 64-bit block, every channel's IM row and CIM level
+// expand from their keys, bind by XOR, and bundle through the block
+// majority (with the §5.1 tie-break block for even channel counts) —
+// no row is ever materialized. Bit-identical to the stored EncodeTo
+// over Materialize()d memories: same blocks, same strict-majority
+// threshold, and a masked tail where the stored path majorities
+// all-zero tails to zero.
+func (e *SpatialEncoder) encodeRematTo(dst hv.Vector, samples []float64) {
+	d := e.im.d
+	if dst.Dim() != d {
+		panic(fmt.Sprintf("hdc: SpatialEncoder.Encode: dst dimension %d != %d", dst.Dim(), d))
+	}
+	rim, rcim := e.im.rem, e.cim.rem
+	c := e.im.Len()
+	lv := e.levels
+	for i, x := range samples {
+		lv[i] = e.cim.Quantize(x)
+	}
+	n := c
+	if c%2 == 0 {
+		n++
+	}
+	buf := e.blocks[:n]
+	// n/2 for both parities: n is c or c+1 with c even.
+	threshold := uint64(c / 2)
+	words := dst.Words()
+	if len(rim.faults) == 0 && len(rcim.faults) == 0 {
+		// Fault-free fast path: the CIM base and flip blocks are shared
+		// by every channel, so each block costs c+2 hashes total.
+		keys, cuts := rim.keys, rcim.cuts
+		for j := 0; 2*j < len(words); j++ {
+			base := hv.ExpandBlock(rcim.baseKey, j)
+			flip := hv.ExpandBlock(rcim.flipKey, j)
+			for i := 0; i < c; i++ {
+				lvl := base
+				if m := hv.PrefixMask64(cuts[lv[i]], j); m != 0 {
+					lvl ^= flip & m
+				}
+				buf[i] = hv.ExpandBlock(keys[i], j) ^ lvl
+			}
+			if c%2 == 0 {
+				buf[c] = buf[0] ^ buf[1]
+			}
+			writeBlock(words, j, hv.MajorityBlock64(buf, threshold))
+		}
+	} else {
+		for j := 0; 2*j < len(words); j++ {
+			for i := 0; i < c; i++ {
+				buf[i] = rim.block(i, j, d) ^ rcim.block(lv[i], j, d)
+			}
+			if c%2 == 0 {
+				buf[c] = buf[0] ^ buf[1]
+			}
+			writeBlock(words, j, hv.MajorityBlock64(buf, threshold))
+		}
+	}
+	maskTail32(words, d)
+}

@@ -1,0 +1,69 @@
+package hdc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pulphd/internal/hv"
+)
+
+// Stored-vs-rematerialized encode benchmarks at the paper's 10,000-D
+// across channel counts (4 is the EMG task; 64 and 256 follow the
+// §4.2 scalability sweep, where the stored IM matrix outgrows cache).
+// Each reports the resident IM+CIM model footprint as "modelB" so the
+// bench harness can emit the stored/remat footprint ratio alongside
+// ns/op into BENCH_remat.json.
+
+// benchEncodeConfig returns the encode benchmark geometry.
+func benchEncodeConfig(channels int, backend Backend) Config {
+	cfg := EMGConfig()
+	cfg.Channels = channels
+	cfg.Backend = backend
+	return cfg
+}
+
+func benchmarkEncode(b *testing.B, channels int, backend Backend) {
+	cfg := benchEncodeConfig(channels, backend)
+	c := MustNew(cfg)
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, channels)
+	for i := range samples {
+		samples[i] = rng.Float64() * cfg.MaxLevel
+	}
+	dst := hv.New(cfg.D)
+	b.SetBytes(int64(hv.WordsFor(cfg.D) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.spatial.EncodeTo(dst, samples)
+	}
+	b.ReportMetric(float64(c.im.SizeBytes()+c.cim.SizeBytes()), "modelB")
+}
+
+func BenchmarkEncodeStored(b *testing.B) {
+	for _, ch := range []int{4, 64, 256} {
+		b.Run(fmt.Sprintf("ch%d", ch), func(b *testing.B) {
+			benchmarkEncode(b, ch, BackendStored)
+		})
+	}
+}
+
+func BenchmarkEncodeRemat(b *testing.B) {
+	for _, ch := range []int{4, 64, 256} {
+		b.Run(fmt.Sprintf("ch%d", ch), func(b *testing.B) {
+			benchmarkEncode(b, ch, BackendRemat)
+		})
+	}
+}
+
+// BenchmarkPredictRemat is BenchmarkPredict on the remat backend: the
+// end-to-end EMG predict (fused encode + AM search) with the model
+// resident in a few cache lines.
+func BenchmarkPredictRemat(b *testing.B) {
+	c, tests := trainedClassifier(b, rematConfig(), 16)
+	c.Predict(tests[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Predict(tests[i%len(tests)])
+	}
+}

@@ -115,8 +115,8 @@ func NewServing(cfg Config, shards int) (*Serving, error) {
 	}
 	sv := &Serving{
 		cfg:    cfg,
-		im:     NewItemMemory(cfg.D, cfg.Channels, cfg.Seed),
-		cim:    NewContinuousItemMemory(cfg.D, cfg.Levels, cfg.MinLevel, cfg.MaxLevel, cfg.Seed+1),
+		im:     newConfigIM(cfg),
+		cim:    newConfigCIM(cfg),
 		shards: shards,
 	}
 	sv.gen.Store(&generation{id: 0, am: NewShardedAM(cfg.D, nil, nil, shards)})
@@ -180,6 +180,15 @@ func (sv *Serving) Labels() []string {
 // AM returns the published generation's associative memory. It is
 // immutable; any number of goroutines may search it.
 func (sv *Serving) AM() *ShardedAM { return sv.gen.Load().am }
+
+// ResidentBytes returns the resident model footprint of the published
+// generation in bytes: item memory + continuous item memory + AM
+// prototypes. With the rematerializing backend the IM+CIM term is
+// expansion keys rather than matrices — the footprint win the
+// pulphd_serving_model_resident_bytes gauge makes visible.
+func (sv *Serving) ResidentBytes() int {
+	return sv.im.SizeBytes() + sv.cim.SizeBytes() + sv.gen.Load().am.SizeBytes()
+}
 
 // ValidateWindow reports whether window has the shape the encoders
 // expect (at least NGram samples of Channels values each). Remote
@@ -295,6 +304,7 @@ func (sv *Serving) learnEncoded(rec *obs.Spans, label string, encoded hv.Vector)
 	rec.Annotate(pub, "classes", int64(next.am.Classes()))
 	if m != nil {
 		m.RecordPublish(next.id, next.am.Classes(), next.am.Shards(), time.Since(start))
+		m.RecordFootprint(sv.im.SizeBytes() + sv.cim.SizeBytes() + next.am.SizeBytes())
 	}
 	return nil
 }
@@ -394,6 +404,7 @@ func (sv *Serving) Retrain(pool *parallel.Pool, samples []Sample) error {
 	sv.mu.Unlock()
 	if m != nil {
 		m.RecordPublish(next.id, next.am.Classes(), next.am.Shards(), time.Since(start))
+		m.RecordFootprint(sv.im.SizeBytes() + sv.cim.SizeBytes() + next.am.SizeBytes())
 	}
 	return nil
 }

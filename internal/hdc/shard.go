@@ -79,6 +79,11 @@ func (am *ShardedAM) Shards() int { return len(am.bounds) - 1 }
 // Label returns the label of class index i.
 func (am *ShardedAM) Label(i int) string { return am.labels[i] }
 
+// SizeBytes returns the prototype matrix footprint in bytes.
+func (am *ShardedAM) SizeBytes() int {
+	return len(am.protos) * hv.WordsFor(am.d) * 4
+}
+
 // Prototype returns the stored prototype of class index i. It is the
 // AM's own storage, not a copy — the ShardedAM is immutable, so treat
 // it as read-only.

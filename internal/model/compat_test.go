@@ -1,0 +1,161 @@
+package model
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pulphd/internal/hdc"
+)
+
+// writeV1 emits c in the version-1 format (9-field head, no backend)
+// exactly as the pre-remat Save did — the fixture for the
+// backward-compatibility pin.
+func writeV1(t *testing.T, w io.Writer, c *hdc.Classifier) {
+	t.Helper()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magicV1[:]); err != nil {
+		t.Fatal(err)
+	}
+	cw := &crcWriter{w: bw, crc: crc32.NewIEEE()}
+	cfg := c.Config()
+	am := c.AM()
+	head := []uint64{
+		uint64(cfg.D),
+		uint64(cfg.Channels),
+		uint64(cfg.Levels),
+		math.Float64bits(cfg.MinLevel),
+		math.Float64bits(cfg.MaxLevel),
+		uint64(cfg.NGram),
+		uint64(cfg.Window),
+		uint64(cfg.Seed),
+		uint64(am.Classes()),
+	}
+	for _, v := range head {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, label := range am.Labels() {
+		if err := binary.Write(cw, binary.LittleEndian, uint32(len(label))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.WriteString(cw, label); err != nil {
+			t.Fatal(err)
+		}
+		if err := binary.Write(cw, binary.LittleEndian, am.Prototype(i).Words()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc.Sum32()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadVersion1RoundTrip pins backward compatibility across the
+// format bump: a version-1 snapshot still loads (as a stored-backend
+// model), behaves identically, and re-saving it produces a version-2
+// file that round-trips.
+func TestLoadVersion1RoundTrip(t *testing.T) {
+	c := trainedClassifier(t)
+	var v1 bytes.Buffer
+	writeV1(t, &v1, c)
+	loaded, err := Load(&v1)
+	if err != nil {
+		t.Fatalf("version-1 snapshot rejected: %v", err)
+	}
+	if loaded.Config().Backend != hdc.BackendStored {
+		t.Fatalf("version-1 load backend = %v, want stored", loaded.Config().Backend)
+	}
+	if loaded.Config() != c.Config() {
+		t.Fatalf("config mismatch: %+v vs %+v", loaded.Config(), c.Config())
+	}
+	// v1 → load → v2 save → load: still the same model.
+	var v2 bytes.Buffer
+	if err := Save(&v2, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v2.Bytes()[:8], magicV2[:]) {
+		t.Fatalf("re-saved snapshot has magic %q, want %q", v2.Bytes()[:8], magicV2)
+	}
+	reloaded, err := Load(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 25; i++ {
+		s := []float64{rng.Float64() * 21, rng.Float64() * 21, rng.Float64() * 21, rng.Float64() * 21}
+		wantL, wantD := c.Predict([][]float64{s})
+		gotL, gotD := reloaded.Predict([][]float64{s})
+		if wantL != gotL || wantD != gotD {
+			t.Fatalf("prediction %d differs after v1→v2 migration: (%q,%d) vs (%q,%d)", i, gotL, gotD, wantL, wantD)
+		}
+	}
+}
+
+// TestRematModelRoundTrip pins the version-2 payload: a
+// remat-backend classifier survives Save/Load with its backend, its
+// regenerated item memories, and every prediction intact — the
+// snapshot holds only the seed, dims, backend and AM prototypes.
+func TestRematModelRoundTrip(t *testing.T) {
+	cfg := hdc.EMGConfig()
+	cfg.D = 1000
+	cfg.Backend = hdc.BackendRemat
+	c := hdc.MustNew(cfg)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 7; i++ {
+		for label, base := range map[string]float64{"fist": 17, "open": 9, "rest": 2} {
+			s := make([]float64, 4)
+			for ch := range s {
+				s[ch] = base + rng.NormFloat64()
+			}
+			c.Train(label, [][]float64{s})
+		}
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Config().Backend != hdc.BackendRemat {
+		t.Fatalf("loaded backend = %v, want remat", loaded.Config().Backend)
+	}
+	if loaded.IM().SizeBytes() != c.IM().SizeBytes() {
+		t.Fatalf("loaded IM footprint %d != %d", loaded.IM().SizeBytes(), c.IM().SizeBytes())
+	}
+	for i := 0; i < 25; i++ {
+		s := []float64{rng.Float64() * 21, rng.Float64() * 21, rng.Float64() * 21, rng.Float64() * 21}
+		wantL, wantD := c.Predict([][]float64{s})
+		gotL, gotD := loaded.Predict([][]float64{s})
+		if wantL != gotL || wantD != gotD {
+			t.Fatalf("prediction %d differs after reload: (%q,%d) vs (%q,%d)", i, gotL, gotD, wantL, wantD)
+		}
+	}
+}
+
+// TestLoadRejectsUnknownBackend pins the validation of the new head
+// field.
+func TestLoadRejectsUnknownBackend(t *testing.T) {
+	c := trainedClassifier(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	full := append([]byte(nil), buf.Bytes()...)
+	// The backend is the 10th head field: bytes [8+9*8, 8+10*8).
+	full[8+9*8] = 0x7f
+	if _, err := Load(bytes.NewReader(full)); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

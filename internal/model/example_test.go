@@ -37,5 +37,5 @@ func Example() {
 	gotLabel, _ := deployed.Predict(sample)
 	fmt.Println("blob bytes:", size, "| agree:", wantLabel == gotLabel, "| label:", gotLabel)
 	// Output:
-	// blob bytes: 356 | agree: true | label: fist
+	// blob bytes: 364 | agree: true | label: fist
 }

@@ -24,9 +24,15 @@ import (
 	"pulphd/internal/hv"
 )
 
-// magic identifies the file format; the trailing digits are the
-// version.
-var magic = [8]byte{'P', 'U', 'L', 'P', 'H', 'D', '0', '1'}
+// The magic identifies the file format; the trailing digits are the
+// version. Version 2 appends the item-memory backend to the config
+// head — a rematerialized model snapshot carries only its seed and
+// backend, never expanded matrices. Save always writes version 2;
+// Load accepts both, treating version-1 files as stored-backend.
+var (
+	magicV1 = [8]byte{'P', 'U', 'L', 'P', 'H', 'D', '0', '1'}
+	magicV2 = [8]byte{'P', 'U', 'L', 'P', 'H', 'D', '0', '2'}
+)
 
 // limits guarding against corrupt or hostile inputs.
 const (
@@ -53,7 +59,7 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 // trained prototypes) to w.
 func Save(w io.Writer, c *hdc.Classifier) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
+	if _, err := bw.Write(magicV2[:]); err != nil {
 		return fmt.Errorf("model: write header: %w", err)
 	}
 	cw := &crcWriter{w: bw, crc: crc32.NewIEEE()}
@@ -69,6 +75,7 @@ func Save(w io.Writer, c *hdc.Classifier) error {
 		uint64(cfg.Window),
 		uint64(cfg.Seed),
 		uint64(am.Classes()),
+		uint64(cfg.Backend),
 	}
 	for _, v := range head {
 		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
@@ -120,11 +127,21 @@ func Load(r io.Reader) (*hdc.Classifier, error) {
 	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
 		return nil, fmt.Errorf("model: read header: %w", err)
 	}
-	if gotMagic != magic {
-		return nil, fmt.Errorf("model: bad magic %q (want %q)", gotMagic, magic)
+	version := 0
+	switch gotMagic {
+	case magicV1:
+		version = 1
+	case magicV2:
+		version = 2
+	default:
+		return nil, fmt.Errorf("model: bad magic %q (want %q or %q)", gotMagic, magicV1, magicV2)
 	}
 	cr := &crcReader{r: br, crc: crc32.NewIEEE()}
-	head := make([]uint64, 9)
+	headLen := 9
+	if version >= 2 {
+		headLen = 10 // + item-memory backend
+	}
+	head := make([]uint64, headLen)
 	for i := range head {
 		if err := binary.Read(cr, binary.LittleEndian, &head[i]); err != nil {
 			return nil, fmt.Errorf("model: read config: %w", err)
@@ -141,6 +158,12 @@ func Load(r io.Reader) (*hdc.Classifier, error) {
 		Seed:     int64(head[7]),
 	}
 	classes := int(head[8])
+	if version >= 2 {
+		if head[9] > uint64(hdc.BackendRemat) {
+			return nil, fmt.Errorf("model: unknown item-memory backend %d", head[9])
+		}
+		cfg.Backend = hdc.Backend(head[9])
+	}
 	switch {
 	case cfg.D < 0 || cfg.D > maxDimension,
 		classes < 0 || classes > maxClasses,

@@ -178,6 +178,18 @@ type ServingMetrics struct {
 	// DegradedScans counts predicts that lost a shard mid-search and
 	// fell back to the flat associative-memory scan.
 	DegradedScans Counter
+	// ModelBytes is the resident footprint of the published model
+	// generation (IM + CIM + AM prototypes) in bytes — the gauge that
+	// makes the rematerializing backend's footprint win visible.
+	ModelBytes Gauge
+}
+
+// RecordFootprint updates the resident model footprint gauge.
+func (m *ServingMetrics) RecordFootprint(bytes int) {
+	if m == nil {
+		return
+	}
+	m.ModelBytes.Set(int64(bytes))
 }
 
 // RecordTimeout counts one predict request that hit its deadline.

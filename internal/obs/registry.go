@@ -321,6 +321,7 @@ func NewHostMetrics() *HostMetrics {
 	r.RegisterCounter("pulphd_serving_retries_total", "dispatcher predict attempts retried after a recovered failure", &h.Serving.Retries)
 	r.RegisterCounter("pulphd_serving_panics_recovered_total", "worker/dispatcher panics converted into error responses", &h.Serving.PanicsRecovered)
 	r.RegisterCounter("pulphd_serving_degraded_scans_total", "predicts that fell back to the flat AM scan after a shard failure", &h.Serving.DegradedScans)
+	r.RegisterGauge("pulphd_serving_model_resident_bytes", "resident footprint of the published model (IM + CIM + AM prototypes) in bytes", &h.Serving.ModelBytes)
 	r.RegisterCounter("pulphd_stream_predict_failures_total", "stream decisions dropped because prediction panicked", &h.Stream.PredictFailures)
 	r.RegisterCounter("pulphd_fault_injections_total", "fault-injection corruption calls with BER > 0", &h.Fault.Injections)
 	r.RegisterCounter("pulphd_fault_flipped_bits_total", "bits flipped by fault injection", &h.Fault.FlippedBits)

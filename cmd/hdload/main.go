@@ -1,0 +1,27 @@
+// Command hdload is the serving-tier load harness: it drives a live
+// `pulphd serve` instance over HTTP with open-loop (fixed arrival
+// rate) or closed-loop (fixed concurrency) EMG session traffic as a
+// /predict+/learn mix, reports HDR-quantile latency (p50/p99/p999),
+// goodput and 429/504/500 rates per swept phase, merges the results
+// into a machine-readable report (benchmarks/BENCH_serving.json) for
+// cross-PR capacity tracking, and exits non-zero when the measured
+// envelope violates an -slo expression.
+//
+// Usage:
+//
+//	hdload -rates 250,500,1000,2000 -duration 5s -label stored \
+//	  -out benchmarks/BENCH_serving.json -slo "p99<20ms,errors<5%,knee>500"
+//	hdload -concurrency 16 -learn-frac 0.02 -slo "p99<50ms,errors<1%"
+//
+// The same harness is available as `pulphd hdload`.
+package main
+
+import (
+	"os"
+
+	"pulphd/internal/load"
+)
+
+func main() {
+	os.Exit(load.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -84,7 +84,7 @@ func TestPredictPanicRecovery(t *testing.T) {
 
 	// api.ses is nil (the dispatcher was never started): the first
 	// attempt panics on the nil session, recovery installs a real one.
-	res := api.predictOne(&pendingPredict{window: testWindow(sv.Config(), 2)}, sv.Generation())
+	res := api.predictOne(&pendingPredict{window: testWindow(sv.Config(), 2)})
 	if res.err != nil {
 		t.Fatalf("predict after recovery failed: %v", res.err)
 	}
@@ -126,7 +126,7 @@ func TestPredictRetriesExhausted(t *testing.T) {
 	// A malformed window (short rows) panics inside encode on every
 	// attempt; validation normally rejects it at the handler, so this
 	// simulates a poisoned model rather than bad input.
-	res := api.predictOne(&pendingPredict{window: [][]float64{{1}}}, sv.Generation())
+	res := api.predictOne(&pendingPredict{window: [][]float64{{1}}})
 	if res.err == nil {
 		t.Fatal("poisoned predict returned no error")
 	}

@@ -9,6 +9,7 @@
 //	pulphd [flags] <experiment>...
 //	pulphd trace [-o trace.json]
 //	pulphd serve [-metrics-addr host:port]
+//	pulphd hdload [-target url] [-rates r1,r2,... | -concurrency n]
 //
 // Experiments: accuracy dimsweep table1 table2 table3 fig3 fig4 fig5
 // faults protofaults ablation all. faults is the accuracy-vs-BER
@@ -31,6 +32,7 @@ import (
 	"pulphd/internal/emg"
 	"pulphd/internal/experiments"
 	"pulphd/internal/hdc"
+	"pulphd/internal/load"
 )
 
 var (
@@ -156,6 +158,8 @@ func main() {
 			os.Exit(runTrace(os.Args[2:]))
 		case "serve":
 			os.Exit(runServe(os.Args[2:]))
+		case "hdload":
+			os.Exit(load.Main(os.Args[2:], os.Stdout, os.Stderr))
 		}
 	}
 	flag.Usage = usage
@@ -227,6 +231,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, "  all\n\nsubcommands:\n")
 	fmt.Fprintf(os.Stderr, "  trace  replay the Table 2/3 kernel chains with a cycle tracer (Chrome trace JSON)\n")
 	fmt.Fprintf(os.Stderr, "  serve  serve the online-learning model (/predict, /learn) and host metrics (/metrics, /debug/vars, /debug/pprof) over HTTP\n")
+	fmt.Fprintf(os.Stderr, "  hdload  load-test a live serve instance: open/closed-loop EMG traffic, HDR latency quantiles, SLO capacity gate\n")
 	fmt.Fprintf(os.Stderr, "\nflags:\n")
 	flag.PrintDefaults()
 }

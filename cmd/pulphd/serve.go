@@ -147,8 +147,15 @@ func runServe(args []string) int {
 	workers := fs.Int("workers", 4, "worker-pool size for sharded predicts and the demo workload")
 	seed := fs.Int64("seed", 2018, "dataset generation seed")
 	shards := fs.Int("shards", 4, "associative-memory shard count for /predict fan-out")
-	queueDepth := fs.Int("queue-depth", 64, "predict queue bound; further requests get 429")
-	maxBatch := fs.Int("max-batch", 16, "most predict requests classified in one dispatcher batch")
+	// The queue-depth/max-batch defaults are pinned from hdload sweeps
+	// at the measured saturation knee (scripts/loadsweep.sh, see
+	// benchmarks/README.md): at knee-rate load, 128/32 roughly halves
+	// p99 and cuts p999 ~3× versus the previous 64/16, and under 2×
+	// overload it sheds fewer requests at equal tail latency. Shallower
+	// queues with small batches are fragile — the dispatcher drains too
+	// slowly and arrival bursts turn into sheds or multi-second waits.
+	queueDepth := fs.Int("queue-depth", 128, "predict queue bound; further requests get 429")
+	maxBatch := fs.Int("max-batch", 32, "most predict requests classified in one dispatcher batch")
 	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error (debug logs every request with its id)")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	traceRequests := fs.Int("trace-requests", 32, "request span timelines retained for /debug/spans; 0 disables request tracing")

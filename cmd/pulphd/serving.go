@@ -90,15 +90,27 @@ func decodePredictWindow(sv *hdc.Serving, body io.Reader) ([][]float64, error) {
 
 // pendingPredict is one queued predict: the decoded window, the
 // request-scoped observability it rides (ctx carries the span recorder
-// into the model layers; wait is the open queue-residency span), and
-// the channel its result comes back on.
+// into the model layers; root is the request span, wait the open
+// queue-residency span), and the channel its result comes back on.
 type pendingPredict struct {
 	window   [][]float64
 	ctx      context.Context
 	rec      *obs.Spans
+	root     obs.SpanID
 	wait     obs.SpanID
 	enqueued time.Time
 	done     chan predictResult
+
+	// completions resolves recorder ownership between the handler and
+	// the dispatcher: each side adds one when it is finished with the
+	// request, and whichever side lands second ends the root span and
+	// files the recorder back into the timeline ring. The handler
+	// normally finishes second (it waits for done); when it abandons
+	// the request first — deadline expired, client gone — the
+	// dispatcher's completion recycles the recorder instead, so a
+	// sustained timeout storm reuses the same recorders rather than
+	// allocating one per abandoned request.
+	completions atomic.Int32
 }
 
 type predictResult struct {
@@ -227,27 +239,68 @@ func (s *apiServer) dispatch() {
 			}
 		}
 		empty := s.sv.Classes() == 0
-		gen := s.sv.Generation()
 		for _, p := range batch {
 			if empty {
-				p.done <- predictResult{err: errNoModel}
+				s.answer(p, predictResult{err: errNoModel})
 				continue
 			}
 			if p.ctx != nil && p.ctx.Err() != nil {
 				// The handler already answered (deadline) or the client
 				// went away; don't burn the batch's time on it.
-				p.done <- predictResult{err: errDeadline}
+				s.answer(p, predictResult{err: errDeadline})
 				continue
 			}
 			bs := p.rec.Start("batch", p.rec.Parent())
 			p.rec.Annotate(bs, "size", int64(len(batch)))
 			p.rec.SetParent(bs)
-			res := s.predictOne(p, gen)
+			res := s.predictOne(p)
 			p.rec.End(bs)
-			p.done <- res
+			s.answer(p, res)
 		}
 		s.m.RecordServeBatch(len(batch))
 	}
+}
+
+// answer sends the dispatcher's result and marks the dispatcher's side
+// of the request complete. complete runs before the send so recorder
+// ownership is already resolved when the handler wakes: either the
+// handler is still waiting on done (it completes second and recycles
+// the recorder itself), or it abandoned the request (the dispatcher is
+// second and recycles here, after its last span write).
+func (s *apiServer) answer(p *pendingPredict, res predictResult) {
+	s.complete(p)
+	p.done <- res
+}
+
+// complete marks one side (handler or dispatcher) finished with the
+// request; the second completion ends the root span and files the
+// recorder into the timeline ring for recycling.
+func (s *apiServer) complete(p *pendingPredict) {
+	if p.completions.Add(1) == 2 {
+		p.rec.End(p.root)
+		s.timelines.Release(p.rec)
+	}
+}
+
+// maxRetryBackoff caps the doubling predict-retry backoff: past it
+// every further attempt waits this long instead of doubling again.
+const maxRetryBackoff = time.Second
+
+// backoff returns the sleep before retrying after failed attempt
+// `attempt`: retryBackoff doubled per attempt, saturating at
+// maxRetryBackoff. The shift is checked before it happens, so a large
+// -predict-retries can never overflow time.Duration into a negative
+// sleep (a negative Sleep returns immediately, turning the backoff
+// into a hot retry loop exactly when the model is panicking).
+func (s *apiServer) backoff(attempt int) time.Duration {
+	b := s.retryBackoff
+	if b <= 0 {
+		return 0
+	}
+	if attempt >= 63 || b > maxRetryBackoff>>uint(attempt) {
+		return maxRetryBackoff
+	}
+	return b << uint(attempt)
 }
 
 // predictOne classifies one queued request with bounded retries: a
@@ -255,8 +308,11 @@ func (s *apiServer) dispatch() {
 // fallback could not absorb) is recovered, the pool and session are
 // replaced, and the attempt repeats after a doubling backoff. When the
 // retry budget is spent the request fails with errPredictPanic (a 500)
-// — the process never dies with it.
-func (s *apiServer) predictOne(p *pendingPredict, gen uint64) predictResult {
+// — the process never dies with it. The reported generation is read
+// from the session after the predict — the generation its atomic load
+// actually scanned — because a /learn can publish mid-batch and make
+// any generation captured earlier stale.
+func (s *apiServer) predictOne(p *pendingPredict) predictResult {
 	ctx := p.ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -264,14 +320,14 @@ func (s *apiServer) predictOne(p *pendingPredict, gen uint64) predictResult {
 	for attempt := 0; ; attempt++ {
 		label, dist, err := s.tryPredict(ctx, p.window)
 		if err == nil {
-			return predictResult{label: label, distance: dist, generation: gen}
+			return predictResult{label: label, distance: dist, generation: s.ses.Generation()}
 		}
 		if attempt >= s.retries {
 			return predictResult{err: fmt.Errorf("%w: %v", errPredictPanic, err)}
 		}
 		s.m.RecordRetry()
-		if s.retryBackoff > 0 {
-			time.Sleep(s.retryBackoff << uint(attempt))
+		if d := s.backoff(attempt); d > 0 {
+			time.Sleep(d)
 		}
 	}
 }
@@ -310,7 +366,8 @@ func (s *apiServer) failQueued() {
 	for {
 		select {
 		case p := <-s.queue:
-			p.done <- predictResult{err: errors.New("server shutting down")}
+			p.rec.End(p.wait)
+			s.answer(p, predictResult{err: errors.New("server shutting down")})
 		default:
 			return
 		}
@@ -422,6 +479,7 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 		window:   window,
 		ctx:      ctx,
 		rec:      rec,
+		root:     root,
 		wait:     rec.Start("queue.wait", root),
 		enqueued: start,
 		done:     make(chan predictResult, 1),
@@ -430,15 +488,21 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- p:
 		s.m.RecordRequest(true)
 	default:
+		// Shed: the dispatcher never sees this request, so the handler
+		// alone closes the spans it opened and recycles the recorder —
+		// leaking it here would defeat the free list exactly when load
+		// is highest.
 		s.m.RecordRequest(false)
+		rec.End(p.wait)
+		rec.End(root)
+		s.timelines.Release(rec)
 		s.log.Debug("predict shed", "request", id, "reason", "queue full")
 		httpError(w, http.StatusTooManyRequests, errors.New("predict queue full; retry"))
 		return
 	}
 	select {
 	case res := <-p.done:
-		rec.End(root)
-		s.timelines.Release(rec)
+		s.complete(p)
 		if res.err != nil {
 			code := http.StatusServiceUnavailable
 			switch {
@@ -466,16 +530,19 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// Deadline expired before the dispatcher answered. Answer 504
 		// now; the dispatcher will see the dead context and skip the
 		// request (or its answer lands in the buffered channel, read by
-		// nobody). The recorder stays with the abandoned request, like
-		// the client-gone path below.
+		// nobody). The handler must not touch the recorder past this
+		// point — the dispatcher may still be writing spans into it —
+		// so complete hands ownership over: the dispatcher's own
+		// completion recycles the recorder after its last span write.
 		s.m.RecordTimeout()
 		s.log.Debug("predict timeout", "request", id, "after", s.timeout)
 		httpError(w, http.StatusGatewayTimeout, errDeadline)
+		s.complete(p)
 	case <-r.Context().Done():
 		// The dispatcher will still answer p.done (buffered), nobody
-		// blocks; the client just went away. The recorder stays with
-		// the abandoned request (never recycled) because the
-		// dispatcher may still be writing spans into it.
+		// blocks; the client just went away. As with the timeout path,
+		// complete hands the recorder to the dispatcher for recycling.
+		s.complete(p)
 	}
 }
 

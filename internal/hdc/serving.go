@@ -440,6 +440,12 @@ type Session struct {
 	am      *ShardedAM // staged for the fan-out in flight
 	scratch []ShardBest
 	fn      func(lo, hi int)
+	// lastGen is the id of the generation the most recent predict
+	// loaded and scanned. A Learn can publish between a caller reading
+	// Serving.Generation() and the predict's own atomic load, so
+	// callers that report the generation a result came from must read
+	// it here, not from the Serving.
+	lastGen uint64
 	// rec and searchSpan stage the request recorder across the shard
 	// fan-out: written by the predicting goroutine before ForRange,
 	// read by the workers it drives (ForRange's task hand-off orders
@@ -504,6 +510,7 @@ func (s *Session) predict(pool *parallel.Pool, window [][]float64) (string, int)
 	if am.Classes() == 0 {
 		panic("hdc: Serving.Predict with no classes")
 	}
+	s.lastGen = gen.id
 	s.ctx.encodeTo(s.ctx.query, window, s.sv.cfg.NGram)
 	n := am.Shards()
 	if pool == nil || n == 1 {
@@ -551,6 +558,7 @@ func (s *Session) predictStaged(rec *obs.Spans, m *obs.InferenceMetrics, parent 
 	if am.Classes() == 0 {
 		panic("hdc: Serving.Predict with no classes")
 	}
+	s.lastGen = gen.id
 	encStart := time.Now()
 	enc := rec.Start("encode", parent)
 	s.ctx.encodeTo(s.ctx.query, window, s.sv.cfg.NGram)
@@ -579,6 +587,12 @@ func (s *Session) predictStaged(rec *obs.Spans, m *obs.InferenceMetrics, parent 
 	m.RecordStages(encode, time.Since(searchStart))
 	return am.labels[idx], dist
 }
+
+// Generation returns the id of the generation the session's most
+// recent predict actually scanned (0 before any predict). Like every
+// Session method it is single-goroutine: only the goroutine driving
+// the session may read it.
+func (s *Session) Generation() uint64 { return s.lastGen }
 
 // Predict classifies one window with a serial AM scan.
 func (s *Session) Predict(window [][]float64) (label string, distance int) {

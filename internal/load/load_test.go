@@ -1,0 +1,348 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServe builds a predict/learn endpoint pair with a fixed service
+// delay and an optional shed fraction, counting what it saw.
+type fakeServe struct {
+	delay     time.Duration
+	shedEvery int64 // every n-th predict answers 429 (0: never)
+	predicts  atomic.Int64
+	learns    atomic.Int64
+}
+
+func (f *fakeServe) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		n := f.predicts.Add(1)
+		if f.delay > 0 {
+			time.Sleep(f.delay)
+		}
+		if f.shedEvery > 0 && n%f.shedEvery == 0 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"label":"rest","distance":1,"generation":1}`))
+	})
+	mux.HandleFunc("/learn", func(w http.ResponseWriter, r *http.Request) {
+		f.learns.Add(1)
+		w.Write([]byte(`{"generation":1,"classes":1}`))
+	})
+	return mux
+}
+
+// tinyTraffic builds a Traffic without the full EMG campaign, keeping
+// unit tests fast; the wire shape matches the serve endpoints.
+func tinyTraffic(t *testing.T) *Traffic {
+	t.Helper()
+	p, err := json.Marshal(predictWire{Window: [][]float64{{1, 2, 3, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := json.Marshal(learnWire{Label: "rest", Window: [][]float64{{1, 2, 3, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Traffic{predicts: [][]byte{p}, learns: [][]byte{l}}
+}
+
+// TestClosedLoopPhase pins the closed-loop accounting: with N workers
+// and a fixed service delay, goodput sits near N/delay, quantiles near
+// the delay, and the learn cadence matches LearnFrac.
+func TestClosedLoopPhase(t *testing.T) {
+	f := &fakeServe{delay: 2 * time.Millisecond}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	res, err := RunPhase(context.Background(), Options{
+		Target:      srv.URL,
+		Concurrency: 4,
+		Duration:    400 * time.Millisecond,
+		Warmup:      50 * time.Millisecond,
+		LearnFrac:   0.1,
+		Traffic:     tinyTraffic(t),
+		Client:      srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "closed" || res.Concurrency != 4 {
+		t.Fatalf("mode %q/%d, want closed/4", res.Mode, res.Concurrency)
+	}
+	if res.Sent == 0 || res.OK != res.Sent {
+		t.Fatalf("sent=%d ok=%d, want all ok", res.Sent, res.OK)
+	}
+	if res.Learns == 0 || res.LearnsOK != res.Learns {
+		t.Fatalf("learns=%d ok=%d, want some and all ok", res.Learns, res.LearnsOK)
+	}
+	// 10% of a few hundred requests — the cadence must land within a
+	// factor of two of the configured fraction.
+	frac := float64(res.Learns) / float64(res.Sent)
+	if frac < 0.05 || frac > 0.2 {
+		t.Fatalf("learn fraction %.3f, want ≈0.1", frac)
+	}
+	if res.P50Ms < 1 || res.P50Ms > 50 {
+		t.Fatalf("p50 %.2f ms implausible for a 2 ms service time", res.P50Ms)
+	}
+	if res.P999Ms < res.P99Ms || res.P99Ms < res.P50Ms {
+		t.Fatalf("quantiles not monotone: p50=%.2f p99=%.2f p999=%.2f", res.P50Ms, res.P99Ms, res.P999Ms)
+	}
+	if res.GoodputRPS <= 0 {
+		t.Fatal("goodput not measured")
+	}
+}
+
+// TestOpenLoopPhase pins the open-loop schedule: the sent count tracks
+// rate×duration even when the server is slower than the interarrival
+// gap (no coordinated omission), and shed answers count as 429s.
+func TestOpenLoopPhase(t *testing.T) {
+	f := &fakeServe{delay: 5 * time.Millisecond, shedEvery: 4}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	const rate, dur = 200.0, 500 * time.Millisecond
+	res, err := RunPhase(context.Background(), Options{
+		Target:   srv.URL,
+		Rate:     rate,
+		Duration: dur,
+		Traffic:  tinyTraffic(t),
+		Client:   srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "open" || res.OfferedRPS != rate {
+		t.Fatalf("mode %q offered %.0f, want open/%.0f", res.Mode, res.OfferedRPS, rate)
+	}
+	want := rate * dur.Seconds()
+	if float64(res.Sent) < want*0.7 || float64(res.Sent) > want*1.3 {
+		t.Fatalf("open loop sent %d requests, want ≈%.0f (arrival schedule not held)", res.Sent, want)
+	}
+	if res.Shed429 == 0 {
+		t.Fatal("shed answers not accounted as 429")
+	}
+	if res.OK+res.Shed429+res.Timeout504+res.Err500+res.OtherErr != res.Sent {
+		t.Fatalf("outcome counts don't add up: %+v", res)
+	}
+	if res.ErrorPct <= 0 {
+		t.Fatal("error percentage not derived")
+	}
+}
+
+// TestRunPhaseValidation pins the mode exclusivity and required fields.
+func TestRunPhaseValidation(t *testing.T) {
+	tr := tinyTraffic(t)
+	for _, opts := range []Options{
+		{Target: "http://x", Traffic: tr, Duration: time.Second},                           // no mode
+		{Target: "http://x", Traffic: tr, Duration: time.Second, Rate: 10, Concurrency: 2}, // both modes
+		{Target: "http://x", Traffic: tr, Rate: 10},                                        // no duration
+		{Target: "", Traffic: tr, Duration: time.Second, Rate: 10},                         // no target
+		{Target: "http://x", Duration: time.Second, Rate: 10},                              // no traffic
+	} {
+		if _, err := RunPhase(context.Background(), opts); err == nil {
+			t.Fatalf("options %+v accepted, want error", opts)
+		}
+	}
+}
+
+// TestEMGTrafficDeterministic pins the traffic source: same seed, same
+// bodies; windows decode against the wire schema.
+func TestEMGTrafficDeterministic(t *testing.T) {
+	a, err := NewEMGTraffic(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEMGTraffic(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Predicts() == 0 || a.Learns() == 0 {
+		t.Fatalf("empty traffic: %d predicts, %d learns", a.Predicts(), a.Learns())
+	}
+	if string(a.PredictBody(3)) != string(b.PredictBody(3)) || string(a.LearnBody(5)) != string(b.LearnBody(5)) {
+		t.Fatal("same seed produced different traffic")
+	}
+	var pw predictWire
+	if err := json.Unmarshal(a.PredictBody(0), &pw); err != nil || len(pw.Window) == 0 {
+		t.Fatalf("predict body does not decode as a window: %v", err)
+	}
+	var lw learnWire
+	if err := json.Unmarshal(a.LearnBody(0), &lw); err != nil || lw.Label == "" {
+		t.Fatalf("learn body does not decode as a labelled window: %v", err)
+	}
+	// Wraparound never panics.
+	_ = a.PredictBody(int64(a.Predicts())*3 + 1)
+	_ = a.LearnBody(int64(a.Learns())*3 + 1)
+}
+
+// TestSeedModel pins the seeding helper: n learns posted, errors
+// surfaced with the server's body.
+func TestSeedModel(t *testing.T) {
+	f := &fakeServe{}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+	tr := tinyTraffic(t)
+	if err := tr.SeedModel(context.Background(), srv.Client(), srv.URL, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f.learns.Load() != 1 {
+		t.Fatalf("seeded %d learns, want 1", f.learns.Load())
+	}
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	}))
+	defer bad.Close()
+	if err := tr.SeedModel(context.Background(), bad.Client(), bad.URL, 1); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("seeding against a 400 server: err=%v, want the server body surfaced", err)
+	}
+}
+
+// TestParseSLO pins the gate mini-language.
+func TestParseSLO(t *testing.T) {
+	s, err := ParseSLO("p99<20ms, errors<5%, goodput>100, knee>500, p999 < 50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.checks) != 4 || s.KneeMin != 500 {
+		t.Fatalf("parsed %d checks, knee %v; want 4 and 500", len(s.checks), s.KneeMin)
+	}
+	if s.String() == "" {
+		t.Fatal("String lost the expression")
+	}
+	if got, err := ParseSLO(""); got != nil || err != nil {
+		t.Fatal("empty SLO must parse to nil")
+	}
+	for _, bad := range []string{"p99>20ms", "goodput<10", "errors>1%", "p42<1ms", "p99=20ms", "p99<banana"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestSLOGate pins the gating semantics: point checks bind the
+// lowest-load phase, knee> binds the highest passing phase.
+func TestSLOGate(t *testing.T) {
+	phases := []Result{
+		{Mode: "open", OfferedRPS: 250, P99Ms: 5, ErrorPct: 0, GoodputRPS: 249},
+		{Mode: "open", OfferedRPS: 500, P99Ms: 12, ErrorPct: 0.5, GoodputRPS: 497},
+		{Mode: "open", OfferedRPS: 1000, P99Ms: 80, ErrorPct: 12, GoodputRPS: 880},
+	}
+	s, err := ParseSLO("p99<20ms,errors<5%,knee>400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Violations(phases); len(v) != 0 {
+		t.Fatalf("healthy sweep gated: %v", v)
+	}
+	knee, ok := s.Knee(phases)
+	if !ok || knee.OfferedRPS != 500 {
+		t.Fatalf("knee %v/%v, want the 500 rps phase", knee.OfferedRPS, ok)
+	}
+
+	s2, _ := ParseSLO("p99<20ms,knee>800")
+	if v := s2.Violations(phases); len(v) != 1 || !strings.Contains(v[0], "knee") {
+		t.Fatalf("capacity bound 800 not flagged: %v", v)
+	}
+
+	s3, _ := ParseSLO("p99<1ms")
+	v := s3.Violations(phases)
+	if len(v) != 1 || !strings.Contains(v[0], "lowest-load") {
+		t.Fatalf("lowest-load point violation not flagged: %v", v)
+	}
+	if _, ok := s3.Knee(phases); ok {
+		t.Fatal("no phase meets p99<1ms, knee must not exist")
+	}
+
+	var nilSLO *SLO
+	if nilSLO.Violations(phases) != nil || nilSLO.String() != "" {
+		t.Fatal("nil SLO must gate nothing")
+	}
+}
+
+// TestReportMerge pins the BENCH_serving.json lifecycle: create, merge
+// a second label, replace an existing label, survive reload.
+func TestReportMerge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "benchmarks", "BENCH_serving.json")
+	stored := NewRun("stored", "http://localhost:1", "p99<20ms", 500,
+		[]Result{{Mode: "open", OfferedRPS: 500, OK: 100}})
+	if _, err := MergeRun(path, stored); err != nil {
+		t.Fatal(err)
+	}
+	remat := NewRun("remat", "http://localhost:1", "", 0,
+		[]Result{{Mode: "open", OfferedRPS: 500, OK: 90}})
+	if _, err := MergeRun(path, remat); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != Schema || len(r.Runs) != 2 {
+		t.Fatalf("report schema %q with %d runs, want %q with 2", r.Schema, len(r.Runs), Schema)
+	}
+	if r.Runs[0].Label != "remat" || r.Runs[1].Label != "stored" {
+		t.Fatalf("runs not sorted by label: %s, %s", r.Runs[0].Label, r.Runs[1].Label)
+	}
+	if r.Host.CPUs < 1 {
+		t.Fatal("host stamp missing")
+	}
+
+	// Re-measuring a label replaces, never duplicates.
+	stored2 := NewRun("stored", "http://localhost:1", "", 0,
+		[]Result{{Mode: "open", OfferedRPS: 750, OK: 150}})
+	merged, err := MergeRun(path, stored2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Runs) != 2 {
+		t.Fatalf("replacing a label left %d runs, want 2", len(merged.Runs))
+	}
+	for _, run := range merged.Runs {
+		if run.Label == "stored" && run.Phases[0].OfferedRPS != 750 {
+			t.Fatal("stored run not replaced")
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("written report is not valid JSON")
+	}
+}
+
+// TestParsePhases pins the CLI sweep-flag resolution.
+func TestParsePhases(t *testing.T) {
+	got, err := parsePhases("250, 500,1000", 0, "", 0)
+	if err != nil || len(got) != 3 || got[1].rate != 500 {
+		t.Fatalf("rates sweep: %v %v", got, err)
+	}
+	got, err = parsePhases("", 0, "1,4", 0)
+	if err != nil || len(got) != 2 || got[1].concurrency != 4 {
+		t.Fatalf("concurrency sweep: %v %v", got, err)
+	}
+	if _, err := parsePhases("250", 0, "4", 0); err == nil {
+		t.Fatal("mixed modes accepted")
+	}
+	if _, err := parsePhases("", 0, "", 0); err == nil {
+		t.Fatal("no mode accepted")
+	}
+	if _, err := parsePhases("abc", 0, "", 0); err == nil {
+		t.Fatal("bad rate accepted")
+	}
+	if _, err := parsePhases("", 0, "-3", 0); err == nil {
+		t.Fatal("negative concurrency accepted")
+	}
+}

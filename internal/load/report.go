@@ -1,0 +1,139 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Schema identifies the BENCH_serving.json layout; bump on breaking
+// changes so trajectory tooling can tell generations apart.
+const Schema = "pulphd/bench-serving/v1"
+
+// Run is one harness invocation against one server configuration —
+// labelled (typically with the -im-backend value) so stored-vs-remat
+// capacity lands side by side in one report.
+type Run struct {
+	Label  string `json:"label"`
+	Target string `json:"target"`
+	// UTC is the run timestamp (RFC 3339).
+	UTC string `json:"utc"`
+	// SLO echoes the gate expression the run was held to ("" if none);
+	// KneeLoad is the highest load whose phases met the point checks
+	// (0 when no SLO or no phase passed).
+	SLO      string   `json:"slo,omitempty"`
+	KneeLoad float64  `json:"knee_load,omitempty"`
+	Phases   []Result `json:"phases"`
+}
+
+// Report is the whole BENCH_serving.json document: one run per label,
+// replaced in place when a label is re-measured, so the file tracks
+// the latest capacity envelope per backend across PRs (git history
+// holds the trajectory).
+type Report struct {
+	Schema string `json:"schema"`
+	Host   Host   `json:"host"`
+	Runs   []Run  `json:"runs"`
+}
+
+// Host records where the measurements were taken; comparing runs
+// across different hosts compares hardware, not code.
+type Host struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+}
+
+// currentHost describes the measuring machine.
+func currentHost() Host {
+	return Host{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()}
+}
+
+// LoadReport reads an existing report, or returns a fresh empty one
+// when the file does not exist yet.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Report{Schema: Schema, Host: currentHost()}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("load: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// MergeRun folds run into the report at path (replacing any run with
+// the same label), refreshes the host stamp, and writes the result
+// atomically. Returns the merged report.
+func MergeRun(path string, run Run) (*Report, error) {
+	r, err := LoadReport(path)
+	if err != nil {
+		return nil, err
+	}
+	r.Schema = Schema
+	r.Host = currentHost()
+	replaced := false
+	for i := range r.Runs {
+		if r.Runs[i].Label == run.Label {
+			r.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		r.Runs = append(r.Runs, run)
+	}
+	sort.Slice(r.Runs, func(i, j int) bool { return r.Runs[i].Label < r.Runs[j].Label })
+	if err := writeJSON(path, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// writeJSON writes v as indented JSON via a temp file + rename, so a
+// crashed run never leaves a truncated report.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".bench-serving-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// NewRun stamps a labelled run with the current UTC time.
+func NewRun(label, target, slo string, kneeLoad float64, phases []Result) Run {
+	return Run{
+		Label:    label,
+		Target:   target,
+		UTC:      time.Now().UTC().Format(time.RFC3339),
+		SLO:      slo,
+		KneeLoad: kneeLoad,
+		Phases:   phases,
+	}
+}

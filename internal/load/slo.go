@@ -1,0 +1,205 @@
+package load
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The SLO mini-language turns a sweep into a capacity gate. An
+// expression is a comma-separated list of checks:
+//
+//	p50<2ms p99<20ms p999<50ms max<200ms   latency bounds (Go durations)
+//	errors<1%                              non-200 fraction of sent
+//	goodput>500                            successful answers per second
+//	knee>1000                              capacity bound, sweeps only
+//
+// Point checks (everything but knee) are evaluated against the lowest
+// offered-rate / lowest-concurrency phase — the service must meet its
+// SLO at least when barely loaded, or the gate fails outright. The
+// knee check asserts measured capacity: the knee is the highest-load
+// phase whose point checks all pass, so `p99<20ms,knee>1000` reads
+// "sustains 1000 arrivals/s within a 20 ms p99".
+
+// SLO is a parsed gate expression.
+type SLO struct {
+	raw    string
+	checks []sloCheck
+	// KneeMin > 0 requires the knee load (offered rps in open loop,
+	// concurrency in closed loop) to exceed it.
+	KneeMin float64
+}
+
+type sloCheck struct {
+	metric string // p50, p99, p999, max, errors, goodput
+	less   bool   // true: measured < value passes; false: measured > value
+	value  float64
+}
+
+// ParseSLO parses a gate expression; the empty string parses to a nil
+// SLO that gates nothing.
+func ParseSLO(s string) (*SLO, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	out := &SLO{raw: s}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		var less bool
+		var lhs, rhs string
+		switch {
+		case strings.Contains(part, "<"):
+			less = true
+			kv := strings.SplitN(part, "<", 2)
+			lhs, rhs = kv[0], kv[1]
+		case strings.Contains(part, ">"):
+			kv := strings.SplitN(part, ">", 2)
+			lhs, rhs = kv[0], kv[1]
+		default:
+			return nil, fmt.Errorf("load: SLO term %q has no < or >", part)
+		}
+		lhs, rhs = strings.TrimSpace(lhs), strings.TrimSpace(rhs)
+		switch lhs {
+		case "p50", "p99", "p999", "max":
+			if !less {
+				return nil, fmt.Errorf("load: SLO latency term %q must use <", part)
+			}
+			d, err := time.ParseDuration(rhs)
+			if err != nil {
+				return nil, fmt.Errorf("load: SLO term %q: %w", part, err)
+			}
+			out.checks = append(out.checks, sloCheck{metric: lhs, less: true, value: ms(d)})
+		case "errors":
+			if !less {
+				return nil, fmt.Errorf("load: SLO errors term %q must use <", part)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSuffix(rhs, "%"), 64)
+			if err != nil {
+				return nil, fmt.Errorf("load: SLO term %q: %w", part, err)
+			}
+			out.checks = append(out.checks, sloCheck{metric: "errors", less: true, value: v})
+		case "goodput":
+			if less {
+				return nil, fmt.Errorf("load: SLO goodput term %q must use >", part)
+			}
+			v, err := strconv.ParseFloat(rhs, 64)
+			if err != nil {
+				return nil, fmt.Errorf("load: SLO term %q: %w", part, err)
+			}
+			out.checks = append(out.checks, sloCheck{metric: "goodput", less: false, value: v})
+		case "knee":
+			if less {
+				return nil, fmt.Errorf("load: SLO knee term %q must use >", part)
+			}
+			v, err := strconv.ParseFloat(rhs, 64)
+			if err != nil {
+				return nil, fmt.Errorf("load: SLO term %q: %w", part, err)
+			}
+			out.KneeMin = v
+		default:
+			return nil, fmt.Errorf("load: unknown SLO metric %q (want p50, p99, p999, max, errors, goodput or knee)", lhs)
+		}
+	}
+	return out, nil
+}
+
+// String returns the expression the SLO was parsed from.
+func (s *SLO) String() string {
+	if s == nil {
+		return ""
+	}
+	return s.raw
+}
+
+// measured extracts one point metric from a phase result.
+func (c sloCheck) measured(r Result) float64 {
+	switch c.metric {
+	case "p50":
+		return r.P50Ms
+	case "p99":
+		return r.P99Ms
+	case "p999":
+		return r.P999Ms
+	case "max":
+		return r.MaxMs
+	case "errors":
+		return r.ErrorPct
+	case "goodput":
+		return r.GoodputRPS
+	}
+	return 0
+}
+
+// PhasePasses reports whether one phase meets every point check.
+func (s *SLO) PhasePasses(r Result) bool {
+	return len(s.phaseViolations(r)) == 0
+}
+
+// phaseViolations lists the point checks r fails.
+func (s *SLO) phaseViolations(r Result) []string {
+	if s == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range s.checks {
+		m := c.measured(r)
+		if c.less && m >= c.value {
+			out = append(out, fmt.Sprintf("%s: measured %.3f ≥ bound %.3f", c.metric, m, c.value))
+		}
+		if !c.less && m <= c.value {
+			out = append(out, fmt.Sprintf("%s: measured %.3f ≤ bound %.3f", c.metric, m, c.value))
+		}
+	}
+	return out
+}
+
+// load returns the phase's offered load on the sweep axis.
+func phaseLoad(r Result) float64 {
+	if r.Mode == "open" {
+		return r.OfferedRPS
+	}
+	return float64(r.Concurrency)
+}
+
+// Knee returns the highest-load phase whose point checks all pass,
+// and whether any phase passed at all.
+func (s *SLO) Knee(phases []Result) (Result, bool) {
+	var best Result
+	found := false
+	for _, r := range phases {
+		if s.PhasePasses(r) && (!found || phaseLoad(r) > phaseLoad(best)) {
+			best, found = r, true
+		}
+	}
+	return best, found
+}
+
+// Violations gates a run: the lowest-load phase must meet every point
+// check, and when a knee bound is set, the knee must exceed it. The
+// returned list is empty when the run passes.
+func (s *SLO) Violations(phases []Result) []string {
+	if s == nil || len(phases) == 0 {
+		return nil
+	}
+	lowest := phases[0]
+	for _, r := range phases[1:] {
+		if phaseLoad(r) < phaseLoad(lowest) {
+			lowest = r
+		}
+	}
+	var out []string
+	for _, v := range s.phaseViolations(lowest) {
+		out = append(out, fmt.Sprintf("lowest-load phase (%s %.5g): %s", lowest.Mode, phaseLoad(lowest), v))
+	}
+	if s.KneeMin > 0 {
+		knee, ok := s.Knee(phases)
+		if !ok {
+			out = append(out, fmt.Sprintf("knee: no phase meets the point SLOs, capacity bound %.5g unmet", s.KneeMin))
+		} else if phaseLoad(knee) <= s.KneeMin {
+			out = append(out, fmt.Sprintf("knee: measured %.5g ≤ bound %.5g", phaseLoad(knee), s.KneeMin))
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"pulphd/internal/emg"
+	"pulphd/internal/experiments"
+)
+
+// Traffic is the replayable request-body source: real windows from the
+// synthetic EMG campaign (the same generator, preprocessing and
+// windowing the experiments and the serve demo use), pre-marshaled so
+// the generator's hot loop never touches the JSON encoder. Predict
+// bodies come from the subject's test session, learn bodies from the
+// labelled training split — so a /learn mix teaches the server the
+// classes its /predict traffic asks about.
+type Traffic struct {
+	predicts [][]byte
+	learns   [][]byte
+}
+
+// predictWire and learnWire mirror the serve endpoints' request
+// schemas (cmd/pulphd serving.go); the harness is a client, so it owns
+// its own copy of the wire format.
+type predictWire struct {
+	Window [][]float64 `json:"window"`
+}
+
+type learnWire struct {
+	Label  string      `json:"label"`
+	Window [][]float64 `json:"window"`
+}
+
+// NewEMGTraffic prepares one synthetic subject's session under the
+// paper's recording protocol and pre-marshals every window. The seed
+// fixes the campaign, so two harness runs against two server builds
+// replay byte-identical traffic.
+func NewEMGTraffic(seed int64) (*Traffic, error) {
+	proto := emg.DefaultProtocol()
+	proto.Seed = seed
+	proto.Subjects = 1
+	prepared := experiments.Prepare(proto, 1)
+	subj := prepared.Subjects[0]
+	t := &Traffic{}
+	for _, w := range subj.Test {
+		body, err := json.Marshal(predictWire{Window: w.Window})
+		if err != nil {
+			return nil, fmt.Errorf("load: marshaling predict window: %w", err)
+		}
+		t.predicts = append(t.predicts, body)
+	}
+	for _, w := range subj.Train {
+		body, err := json.Marshal(learnWire{Label: w.Label, Window: w.Window})
+		if err != nil {
+			return nil, fmt.Errorf("load: marshaling learn window: %w", err)
+		}
+		t.learns = append(t.learns, body)
+	}
+	if len(t.predicts) == 0 || len(t.learns) == 0 {
+		return nil, fmt.Errorf("load: prepared campaign produced no windows")
+	}
+	return t, nil
+}
+
+// NewStaticTraffic wraps pre-marshaled request bodies as a Traffic —
+// for tests and callers that already hold windows matching the target
+// server's configuration. Both slices must be non-empty.
+func NewStaticTraffic(predicts, learns [][]byte) (*Traffic, error) {
+	if len(predicts) == 0 || len(learns) == 0 {
+		return nil, fmt.Errorf("load: static traffic needs at least one predict and one learn body")
+	}
+	return &Traffic{predicts: predicts, learns: learns}, nil
+}
+
+// Predicts returns how many distinct predict bodies the session holds.
+func (t *Traffic) Predicts() int { return len(t.predicts) }
+
+// Learns returns how many distinct learn bodies the session holds.
+func (t *Traffic) Learns() int { return len(t.learns) }
+
+// PredictBody returns the i-th predict body, wrapping around the
+// session.
+func (t *Traffic) PredictBody(i int64) []byte {
+	return t.predicts[int(i%int64(len(t.predicts)))]
+}
+
+// LearnBody returns the i-th learn body, wrapping around the split.
+func (t *Traffic) LearnBody(i int64) []byte {
+	return t.learns[int(i%int64(len(t.learns)))]
+}
+
+// SeedModel teaches an empty server by POSTing n learn bodies (the
+// whole training split when n ≤ 0 or exceeds it) — how the CI smoke
+// lane turns a `serve -demo=false` process into a servable model. Any
+// non-200 answer aborts with the server's error body.
+func (t *Traffic) SeedModel(ctx context.Context, client *http.Client, target string, n int) error {
+	if n <= 0 || n > len(t.learns) {
+		n = len(t.learns)
+	}
+	for i := 0; i < n; i++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/learn",
+			strings.NewReader(string(t.learns[i])))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("load: seeding model (learn %d/%d): %w", i+1, n, err)
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("load: seeding model (learn %d/%d): status %d: %s", i+1, n, resp.StatusCode, body)
+		}
+	}
+	return nil
+}

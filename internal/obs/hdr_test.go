@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHDRIndexMonotonic pins the bucket layout: indices never decrease
+// with the value, every bucket's upper bound maps back to itself, and
+// the next value after an upper bound lands in a later bucket.
+func TestHDRIndexMonotonic(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		idx := hdrIndex(v)
+		if idx < prev {
+			t.Fatalf("hdrIndex(%d) = %d < previous %d", v, idx, prev)
+		}
+		prev = idx
+		ub := hdrUpperBound(idx)
+		if ub < v {
+			t.Fatalf("upper bound %d of bucket %d below member %d", ub, idx, v)
+		}
+		if hdrIndex(ub) != idx {
+			t.Fatalf("upper bound %d of bucket %d maps to bucket %d", ub, idx, hdrIndex(ub))
+		}
+		if idx+1 < hdrBuckets && hdrIndex(ub+1) != idx+1 {
+			t.Fatalf("value %d after bucket %d maps to %d, want %d", ub+1, idx, hdrIndex(ub+1), idx+1)
+		}
+	}
+	if hdrIndex(-5) != 0 {
+		t.Fatal("negative values must clamp to bucket 0")
+	}
+}
+
+// TestHDRQuantileError checks quantiles against an exactly sorted
+// sample: the histogram answer must be ≥ the true order statistic and
+// within the ~1.6% relative bucket width above it.
+func TestHDRQuantileError(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h HDR
+	n := 20000
+	vals := make([]int64, n)
+	for i := range vals {
+		// Log-uniform latencies from ~1 µs to ~1 s.
+		v := int64(1000 * (1 << uint(rng.Intn(20))))
+		v += rng.Int63n(v)
+		vals[i] = v
+		h.RecordNanos(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(q*float64(n)+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		truth := vals[rank]
+		got := int64(h.Quantile(q))
+		if got < truth {
+			t.Errorf("q=%v: histogram %d below true order statistic %d", q, got, truth)
+		}
+		if float64(got) > float64(truth)*1.04 {
+			t.Errorf("q=%v: histogram %d more than 4%% above true %d", q, got, truth)
+		}
+	}
+	if h.Count() != int64(n) {
+		t.Fatalf("count %d, want %d", h.Count(), n)
+	}
+	if h.Max() != time.Duration(vals[n-1]) {
+		t.Fatalf("max %d, want %d", h.Max(), vals[n-1])
+	}
+}
+
+// TestHDRMergeAndEdges pins merge additivity, the empty-histogram
+// zeros, and nil-safety.
+func TestHDRMergeAndEdges(t *testing.T) {
+	var a, b HDR
+	for i := 1; i <= 100; i++ {
+		a.RecordNanos(int64(i) * 1000)
+	}
+	for i := 101; i <= 200; i++ {
+		b.RecordNanos(int64(i) * 1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count %d, want 200", a.Count())
+	}
+	if got := a.Quantile(0.5); got < 99*1000 || got > 105*1000 {
+		t.Fatalf("merged p50 %v outside [99µs, 105µs]", got)
+	}
+	if a.Max() != 200*1000 {
+		t.Fatalf("merged max %v, want 200µs", a.Max())
+	}
+
+	var empty HDR
+	if empty.Quantile(0.99) != 0 || empty.Count() != 0 || empty.Max() != 0 {
+		t.Fatal("empty histogram must answer zeros")
+	}
+	var nilH *HDR
+	nilH.Record(time.Second)
+	nilH.Merge(&a)
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 {
+		t.Fatal("nil histogram must no-op")
+	}
+
+	a.Reset()
+	if a.Count() != 0 || a.Quantile(0.9) != 0 {
+		t.Fatal("reset histogram must be empty")
+	}
+}

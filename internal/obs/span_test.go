@@ -207,6 +207,41 @@ func TestTimelinesRingRecycles(t *testing.T) {
 	}
 }
 
+// TestTimelinesRecycleDistinct pins the recycle discipline a serving
+// path with handler/dispatcher recorder handoff depends on: a recorder
+// is never simultaneously live in two places — every Acquire hands out
+// a recorder distinct from every other outstanding one and from every
+// recorder held in the done ring.
+func TestTimelinesRecycleDistinct(t *testing.T) {
+	tl := NewTimelines(3, 4)
+	live := map[*Spans]bool{}
+	var out []*Spans
+	for i := uint64(1); i <= 6; i++ {
+		s := tl.Acquire(i)
+		if live[s] {
+			t.Fatalf("Acquire(%d) returned a recorder already outstanding", i)
+		}
+		live[s] = true
+		out = append(out, s)
+	}
+	for _, s := range out {
+		tl.Release(s)
+	}
+	// 6 released into keep=3: 3 in the ring, 3 recycled to the free
+	// list. Re-acquiring must hand back only free-list recorders, never
+	// one the ring still exports.
+	held := map[*Spans]bool{}
+	for _, s := range tl.snapshot() {
+		held[s] = true
+	}
+	for i := uint64(10); i < 13; i++ {
+		s := tl.Acquire(i)
+		if held[s] {
+			t.Fatalf("Acquire(%d) returned a recorder still held in the done ring", i)
+		}
+	}
+}
+
 // TestSpansConcurrentStart hammers slot reservation from many
 // goroutines: every non-dropped id is unique and the drop accounting
 // adds up.

@@ -10,6 +10,10 @@ BASE="http://$ADDR"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
+# Every curl gets a hard time budget so a wedged server fails the lane
+# instead of hanging it until the CI job timeout.
+CURL=(curl --max-time 15)
+
 # Fail fast when something already listens on the port: booting the
 # server anyway would make it die on bind while the health poll below
 # talks to the wrong process (or hangs CI until its timeout).
@@ -33,9 +37,16 @@ fail() {
   exit 1
 }
 
+# alive fails fast when the server died mid-run — without it, every
+# later curl would burn its full timeout against a closed port and the
+# failure would be reported as the wrong endpoint.
+alive() {
+  kill -0 "$SERVE_PID" 2>/dev/null || fail "server died mid-run (before: $*)"
+}
+
 # Liveness comes up first; poll it instead of sleeping blind.
 for i in $(seq 1 50); do
-  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+  if "${CURL[@]}" -sf "$BASE/healthz" >/dev/null 2>&1; then
     break
   fi
   kill -0 "$SERVE_PID" 2>/dev/null || fail "server died during startup"
@@ -45,25 +56,28 @@ done
 echo "smoke: /healthz up"
 
 # Empty model (-demo=false): not ready, predicts refused with 409.
-code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")
+alive "readyz/predict probes"
+code=$("${CURL[@]}" -s -o /dev/null -w '%{http_code}' "$BASE/readyz")
 [ "$code" = 503 ] || fail "/readyz on empty model returned $code, want 503"
-code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+code=$("${CURL[@]}" -s -o /dev/null -w '%{http_code}' -X POST \
   -d '{"window":[[1,2,3,4]]}' "$BASE/predict")
 [ "$code" = 409 ] || fail "/predict on empty model returned $code, want 409"
 
 # fetch GETs a path into a scratch file so body checks never race the
 # transfer (grep -q closing a pipe early would trip pipefail).
 fetch() {
-  curl -sf -o "$TMP/body" "$BASE$1" || fail "GET $1 failed"
+  alive "GET $1"
+  "${CURL[@]}" -sf -o "$TMP/body" "$BASE$1" || fail "GET $1 failed"
 }
 
 # Teach one class, then the predict/learn roundtrip must answer it.
-curl -sf -o "$TMP/body" -X POST -d '{"label":"rest","window":[[1,2,3,4]]}' "$BASE/learn" \
+alive "POST /learn"
+"${CURL[@]}" -sf -o "$TMP/body" -X POST -d '{"label":"rest","window":[[1,2,3,4]]}' "$BASE/learn" \
   || fail "POST /learn failed"
 grep -q '"generation":1' "$TMP/body" || fail "/learn did not publish generation 1"
 fetch /readyz
 grep -q '"status":"ready"' "$TMP/body" || fail "/readyz not ready after learn"
-curl -sf -o "$TMP/body" -X POST -d '{"window":[[1,2,3,4]]}' "$BASE/predict" \
+"${CURL[@]}" -sf -o "$TMP/body" -X POST -d '{"window":[[1,2,3,4]]}' "$BASE/predict" \
   || fail "POST /predict failed"
 grep -q '"label":"rest"' "$TMP/body" || fail "/predict did not answer the learned label"
 echo "smoke: /learn + /predict roundtrip ok"
@@ -75,7 +89,7 @@ grep -q '^pulphd_serving_requests_total' "$TMP/body" \
 fetch /debug/spans
 grep -q '"queue.wait"' "$TMP/body" \
   || fail "/debug/spans lacks the queue.wait span"
-curl -sf -o "$TMP/profile.pb" "$BASE/debug/pprof/profile?seconds=1" \
+"${CURL[@]}" -sf -o "$TMP/profile.pb" "$BASE/debug/pprof/profile?seconds=1" \
   || fail "/debug/pprof/profile failed"
 [ -s "$TMP/profile.pb" ] || fail "CPU profile is empty"
 grep -q '"msg":"predict"' "$TMP/serve.log" \
@@ -97,16 +111,17 @@ echo "smoke: graceful shutdown ok"
   -log-level debug -log-format json >"$TMP/serve-timeout.log" 2>&1 &
 SERVE_PID=$!
 for i in $(seq 1 50); do
-  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+  if "${CURL[@]}" -sf "$BASE/healthz" >/dev/null 2>&1; then
     break
   fi
   kill -0 "$SERVE_PID" 2>/dev/null || { cat "$TMP/serve-timeout.log" >&2; fail "timeout server died during startup"; }
   [ "$i" = 50 ] && fail "timeout server /healthz never came up"
   sleep 0.2
 done
-curl -sf -o /dev/null -X POST -d '{"label":"rest","window":[[1,2,3,4]]}' "$BASE/learn" \
+alive "timeout-server POST /learn"
+"${CURL[@]}" -sf -o /dev/null -X POST -d '{"label":"rest","window":[[1,2,3,4]]}' "$BASE/learn" \
   || fail "POST /learn on timeout server failed"
-code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+code=$("${CURL[@]}" -s -o /dev/null -w '%{http_code}' -X POST \
   -d '{"window":[[1,2,3,4]]}' "$BASE/predict")
 [ "$code" = 504 ] || fail "/predict under 1ns deadline returned $code, want 504"
 fetch /metrics

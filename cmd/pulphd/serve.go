@@ -20,6 +20,7 @@ import (
 	"pulphd/internal/hdc"
 	"pulphd/internal/obs"
 	"pulphd/internal/parallel"
+	modreg "pulphd/internal/registry"
 	"pulphd/internal/stream"
 )
 
@@ -165,14 +166,24 @@ func runServe(args []string) int {
 	retryBackoff := fs.Duration("retry-backoff", 2*time.Millisecond, "initial backoff between predict retries, doubling per attempt")
 	chaosShard := fs.Int("chaos-shard", -1, "fault injection: panic every sharded scan of this AM shard index, exercising the degraded flat-scan fallback (-1 disables)")
 	imBackend := fs.String("im-backend", "stored", "item-memory backend for the served model: stored or remat")
+	stateDir := fs.String("state-dir", "", "model-registry state `directory` (snapshots + write-ahead logs); restarts recover every model from it. Empty: models live in memory only")
+	residentBudget := fs.Int64("resident-budget", 0, "resident-bytes budget across registry models; past it, least-recently-used models evict to disk and fault back in on demand (0: unlimited; needs -state-dir)")
+	walSync := fs.Bool("wal-sync", false, "fsync every write-ahead-log append: per-learn durability against power loss at a large latency cost (kill -9 loses nothing either way)")
+	snapshotEvery := fs.Int("snapshot-every", modreg.DefaultSnapshotEvery, "write-ahead-log records per model before an automatic snapshot folds them in and truncates the log")
+	defaultModel := fs.String("default-model", "default", "registry model `name` the legacy /predict and /learn routes serve")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pulphd serve [-metrics-addr host:port] [-shards n] [-queue-depth n] [-max-batch n] [-log-level l] [-trace-requests n]\n\n")
-		fmt.Fprintf(os.Stderr, "Serves the online-learning model over HTTP — POST /predict classifies a\n")
-		fmt.Fprintf(os.Stderr, "window, POST /learn folds a label-corrected window into a new model\n")
-		fmt.Fprintf(os.Stderr, "generation — plus observability: Prometheus text at /metrics, expvar\n")
-		fmt.Fprintf(os.Stderr, "JSON at /debug/vars, pprof at /debug/pprof/, request span timelines as\n")
-		fmt.Fprintf(os.Stderr, "Chrome trace JSON at /debug/spans, liveness at /healthz and readiness\n")
-		fmt.Fprintf(os.Stderr, "at /readyz. SIGINT/SIGTERM drain and shut down gracefully.\n\nflags:\n")
+		fmt.Fprintf(os.Stderr, "Serves online-learning models over HTTP. The legacy single-model routes\n")
+		fmt.Fprintf(os.Stderr, "— POST /predict classifies a window, POST /learn folds a label-corrected\n")
+		fmt.Fprintf(os.Stderr, "window into a new model generation — serve the default registry model\n")
+		fmt.Fprintf(os.Stderr, "(or the model named by an X-PULPHD-Model header); /models lists,\n")
+		fmt.Fprintf(os.Stderr, "creates and deletes named tenant models and /models/{name}/predict and\n")
+		fmt.Fprintf(os.Stderr, "/models/{name}/learn route to them. With -state-dir every learn is\n")
+		fmt.Fprintf(os.Stderr, "write-ahead logged and restarts recover every model exactly.\n")
+		fmt.Fprintf(os.Stderr, "Observability: Prometheus text at /metrics, expvar JSON at /debug/vars,\n")
+		fmt.Fprintf(os.Stderr, "pprof at /debug/pprof/, request span timelines as Chrome trace JSON at\n")
+		fmt.Fprintf(os.Stderr, "/debug/spans, liveness at /healthz and per-model readiness at /readyz.\n")
+		fmt.Fprintf(os.Stderr, "SIGINT/SIGTERM drain and shut down gracefully.\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -198,16 +209,48 @@ func runServe(args []string) int {
 		proto.Subjects = 1
 		prepared = experiments.Prepare(proto, 1)
 	}
-	sv, err := newServingModel(prepared, backend, *shards)
+	reg, err := modreg.Open(modreg.Config{
+		Dir:            *stateDir,
+		Shards:         *shards,
+		ResidentBudget: *residentBudget,
+		SnapshotEvery:  *snapshotEvery,
+		SyncWAL:        *walSync,
+		Metrics:        h.Models,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
 		return 1
 	}
-	h.Serving.RecordModel(sv.Generation(), sv.Classes(), sv.AM().Shards())
-	h.Serving.RecordFootprint(sv.ResidentBytes())
+	defer reg.Close()
+	// The default model: a recovered copy in the state directory wins
+	// over a freshly built one — that is the restart-recovery contract.
+	// Only when the registry has never seen the name does the demo-
+	// trained (or empty) model register under it.
+	if !reg.Has(*defaultModel) {
+		sv, err := newServingModel(prepared, backend, *shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
+			return 1
+		}
+		if err := reg.Adopt(*defaultModel, sv); err != nil {
+			fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
+			return 1
+		}
+	} else {
+		logger.Info("default model recovered from state directory", "model", *defaultModel, "dir", *stateDir)
+	}
+	baseCfg := hdc.EMGConfig()
+	baseCfg.Backend = backend
 	pool := parallel.NewPool(*workers)
 	defer pool.Close()
-	api := newAPIServer(sv, pool, *queueDepth, *maxBatch, h.Serving)
+	api, err := newRegistryAPIServer(reg, *defaultModel, baseCfg, pool, *queueDepth, *maxBatch, h.Serving)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
+		return 1
+	}
+	sv := api.sv
+	h.Serving.RecordModel(sv.Generation(), sv.Classes(), sv.AM().Shards())
+	h.Serving.RecordFootprint(sv.ResidentBytes())
 	api.log = logger
 	api.timeout = *predictTimeout
 	api.retries = *predictRetries
@@ -250,8 +293,9 @@ func runServe(args []string) int {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("serving",
-		"addr", *addr, "classes", sv.Classes(), "shards", sv.AM().Shards(),
-		"endpoints", "/predict /learn /healthz /readyz /metrics /debug/vars /debug/pprof/ /debug/spans")
+		"addr", *addr, "model", *defaultModel, "classes", sv.Classes(), "shards", sv.AM().Shards(),
+		"state_dir", *stateDir,
+		"endpoints", "/predict /learn /models /models/{name}/predict /models/{name}/learn /healthz /readyz /metrics /debug/vars /debug/pprof/ /debug/spans")
 
 	select {
 	case err := <-errc:
@@ -266,6 +310,12 @@ func runServe(args []string) int {
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		logger.Warn("shutdown incomplete", "error", err)
+	}
+	// Fold every model's WAL tail into a clean snapshot on the way out;
+	// a crash that skips this loses nothing — the WAL replays — it just
+	// restarts faster with one.
+	if err := reg.Close(); err != nil {
+		logger.Warn("registry close incomplete", "error", err)
 	}
 	logger.Info("shutdown complete")
 	return 0

@@ -16,7 +16,12 @@ import (
 	"pulphd/internal/hdc"
 	"pulphd/internal/obs"
 	"pulphd/internal/parallel"
+	modreg "pulphd/internal/registry"
 )
+
+// modelHeader routes a legacy /predict or /learn request to a named
+// registry model without changing its path.
+const modelHeader = "X-PULPHD-Model"
 
 // This file is the HTTP front end of the online-learning serving
 // layer: POST /predict classifies windows against the current model
@@ -25,6 +30,14 @@ import (
 // dispatcher goroutine that owns the worker pool and drains the queue
 // in batches — concurrent HTTP handlers never contend on the pool, and
 // a full queue sheds load with 429 instead of queueing unboundedly.
+//
+// With a model registry attached (newRegistryAPIServer), the same
+// queue and dispatcher serve many named models: /models/{name}/predict
+// and /models/{name}/learn route by path, the legacy /predict and
+// /learn routes accept an X-PULPHD-Model header or fall through to the
+// default model, and /models hosts the admin surface (list, create,
+// delete). Learns against the registry are write-ahead logged before
+// they apply, so acknowledged learns survive a crash.
 
 // maxRequestBody bounds a request body; the EMG operating point needs
 // a few KB per window, so 1 MiB leaves room for much larger models.
@@ -38,6 +51,9 @@ type predictResponse struct {
 	Label      string `json:"label"`
 	Distance   int    `json:"distance"`
 	Generation uint64 `json:"generation"`
+	// Model names the registry model that answered; empty on the
+	// legacy single-model route.
+	Model string `json:"model,omitempty"`
 }
 
 type learnRequest struct {
@@ -48,6 +64,7 @@ type learnRequest struct {
 type learnResponse struct {
 	Generation uint64 `json:"generation"`
 	Classes    int    `json:"classes"`
+	Model      string `json:"model,omitempty"`
 }
 
 // errNoModel is returned for predicts against a model with no classes
@@ -93,7 +110,13 @@ func decodePredictWindow(sv *hdc.Serving, body io.Reader) ([][]float64, error) {
 // into the model layers; root is the request span, wait the open
 // queue-residency span), and the channel its result comes back on.
 type pendingPredict struct {
-	window   [][]float64
+	window [][]float64
+	// sv is the model this request resolved to at enqueue time; nil
+	// means the server's default model (the legacy single-model path).
+	// model carries the name for the response when the request routed
+	// explicitly.
+	sv       *hdc.Serving
+	model    string
 	ctx      context.Context
 	rec      *obs.Spans
 	root     obs.SpanID
@@ -117,6 +140,7 @@ type predictResult struct {
 	label      string
 	distance   int
 	generation uint64
+	model      string
 	err        error
 }
 
@@ -129,11 +153,25 @@ type apiServer struct {
 	maxBatch int
 	m        *obs.ServingMetrics
 
+	// reg, when non-nil, is the multi-tenant model registry behind the
+	// /models routes; defaultModel names the registry model the legacy
+	// /predict and /learn routes serve, and baseConfig is the geometry
+	// POST /models creates new models with.
+	reg          *modreg.Registry
+	defaultModel string
+	baseConfig   hdc.Config
+
 	// ses is the dispatcher's serving session. Only the dispatcher
 	// goroutine touches it (and the pool); after a recovered predict
 	// panic both are replaced, since a panic that escaped mid-collective
 	// can leave the pool barrier poisoned.
 	ses *hdc.Session
+
+	// sessions caches dispatcher sessions for non-default registry
+	// models, keyed by Serving instance (an evict/fault-in cycle makes
+	// a new instance, so stale keys die with their model). Dispatcher
+	// goroutine only, like ses.
+	sessions map[*hdc.Serving]*hdc.Session
 
 	// timeout bounds one predict from enqueue to answer (0: none): the
 	// handler answers 504 when it expires and the dispatcher skips
@@ -184,6 +222,23 @@ func newAPIServer(sv *hdc.Serving, pool *parallel.Pool, queueDepth, maxBatch int
 	}
 }
 
+// newRegistryAPIServer builds the server over a model registry. The
+// legacy /predict and /learn routes serve defaultModel (which must be
+// registered); the /models routes serve every tenant. baseConfig is
+// the geometry POST /models creates models with.
+func newRegistryAPIServer(reg *modreg.Registry, defaultModel string, baseConfig hdc.Config,
+	pool *parallel.Pool, queueDepth, maxBatch int, m *obs.ServingMetrics) (*apiServer, error) {
+	sv, err := reg.Serving(defaultModel)
+	if err != nil {
+		return nil, fmt.Errorf("default model: %w", err)
+	}
+	s := newAPIServer(sv, pool, queueDepth, maxBatch, m)
+	s.reg = reg
+	s.defaultModel = defaultModel
+	s.baseConfig = baseConfig
+	return s, nil
+}
+
 // start runs the dispatcher until stop. It owns the only Session and
 // the only pool handle, so no lock is needed anywhere on the predict
 // path. The dispatcher goroutine carries a pprof label so CPU profiles
@@ -211,7 +266,9 @@ func (s *apiServer) stop() {
 // context so its span recorder sees the batch it rode, the encode and
 // AM-search stages, and the per-shard fan-out.
 func (s *apiServer) dispatch() {
-	s.ses = s.sv.NewSession()
+	if s.sv != nil {
+		s.ses = s.sv.NewSession()
+	}
 	batch := make([]*pendingPredict, 0, s.maxBatch)
 	for {
 		batch = batch[:0]
@@ -238,9 +295,8 @@ func (s *apiServer) dispatch() {
 				s.m.RecordQueueWait(now.Sub(p.enqueued))
 			}
 		}
-		empty := s.sv.Classes() == 0
 		for _, p := range batch {
-			if empty {
+			if sv := s.modelFor(p); sv == nil || sv.Classes() == 0 {
 				s.answer(p, predictResult{err: errNoModel})
 				continue
 			}
@@ -318,9 +374,9 @@ func (s *apiServer) predictOne(p *pendingPredict) predictResult {
 		ctx = context.Background()
 	}
 	for attempt := 0; ; attempt++ {
-		label, dist, err := s.tryPredict(ctx, p.window)
+		label, dist, gen, err := s.tryPredict(ctx, p)
 		if err == nil {
-			return predictResult{label: label, distance: dist, generation: s.ses.Generation()}
+			return predictResult{label: label, distance: dist, generation: gen, model: p.model}
 		}
 		if attempt >= s.retries {
 			return predictResult{err: fmt.Errorf("%w: %v", errPredictPanic, err)}
@@ -332,11 +388,48 @@ func (s *apiServer) predictOne(p *pendingPredict) predictResult {
 	}
 }
 
+// modelFor resolves a queued request to its Serving: the one the
+// handler pinned at enqueue, or the server's default model.
+func (s *apiServer) modelFor(p *pendingPredict) *hdc.Serving {
+	if p.sv != nil {
+		return p.sv
+	}
+	return s.sv
+}
+
+// sessionFor returns the dispatcher session for sv. The default
+// model's session is the ses field exactly as before registries
+// existed (including its nil-until-dispatch lifecycle, which the
+// panic-recovery path relies on); other models get cached sessions
+// keyed by Serving instance.
+func (s *apiServer) sessionFor(sv *hdc.Serving) *hdc.Session {
+	if sv == s.sv {
+		return s.ses
+	}
+	if ses := s.sessions[sv]; ses != nil {
+		return ses
+	}
+	// Evict/fault-in cycles retire Serving instances; cap the cache so
+	// retired keys cannot accumulate without bound. Sessions are cheap
+	// to rebuild (a pooled scratch buffer), so a full clear is fine.
+	if len(s.sessions) >= 64 {
+		clear(s.sessions)
+	}
+	if s.sessions == nil {
+		s.sessions = make(map[*hdc.Serving]*hdc.Session)
+	}
+	ses := sv.NewSession()
+	s.sessions[sv] = ses
+	return ses
+}
+
 // tryPredict runs one predict attempt, converting a panic into an
 // error after replacing the worker pool and session — a panic that
 // escaped mid-collective may have left stale barrier signals that
-// would poison every later collective on the same pool.
-func (s *apiServer) tryPredict(ctx context.Context, window [][]float64) (label string, dist int, err error) {
+// would poison every later collective on the same pool. The
+// generation is read from the session after the predict — the
+// generation its atomic load actually scanned.
+func (s *apiServer) tryPredict(ctx context.Context, p *pendingPredict) (label string, dist int, gen uint64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.m.RecordPanicRecovered()
@@ -345,20 +438,25 @@ func (s *apiServer) tryPredict(ctx context.Context, window [][]float64) (label s
 			err = fmt.Errorf("recovered: %v", r)
 		}
 	}()
-	label, dist = s.ses.PredictCtx(ctx, s.pool, window)
-	return label, dist, nil
+	ses := s.sessionFor(s.modelFor(p))
+	label, dist = ses.PredictCtx(ctx, s.pool, p.window)
+	return label, dist, ses.Generation(), nil
 }
 
 // replacePoolAndSession swaps in a fresh worker pool and serving
-// session after a recovered panic. Only the dispatcher goroutine calls
-// it, so no lock guards the fields.
+// session (and drops every cached per-model session) after a
+// recovered panic. Only the dispatcher goroutine calls it, so no lock
+// guards the fields.
 func (s *apiServer) replacePoolAndSession() {
 	if s.pool != nil {
 		workers := s.pool.Workers()
 		s.pool.Close()
 		s.pool = parallel.NewPool(workers)
 	}
-	s.ses = s.sv.NewSession()
+	if s.sv != nil {
+		s.ses = s.sv.NewSession()
+	}
+	clear(s.sessions)
 }
 
 // failQueued answers everything still queued at shutdown.
@@ -374,13 +472,62 @@ func (s *apiServer) failQueued() {
 	}
 }
 
-// register installs the serving endpoints on mux.
+// register installs the serving endpoints on mux. The named-model and
+// admin routes appear only when a registry is attached; the legacy
+// routes always do, so single-model deployments and their tests see
+// the unchanged surface.
 func (s *apiServer) register(mux *http.ServeMux) {
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/learn", s.handleLearn)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/spans", s.handleSpans)
+	if s.reg == nil {
+		return
+	}
+	mux.HandleFunc("POST /models/{model}/predict", s.handlePredict)
+	mux.HandleFunc("POST /models/{model}/learn", s.handleLearn)
+	mux.HandleFunc("GET /models", s.handleModelsList)
+	mux.HandleFunc("POST /models", s.handleModelCreate)
+	mux.HandleFunc("GET /models/{model}", s.handleModelInfo)
+	mux.HandleFunc("DELETE /models/{model}", s.handleModelDelete)
+}
+
+// resolveModel picks the model a request addresses: the {model} path
+// segment, the X-PULPHD-Model header, or the default. The returned
+// name is empty exactly when the request did not route explicitly (the
+// legacy shape), even though a registry-backed default still serves
+// it.
+func (s *apiServer) resolveModel(r *http.Request) (name string, sv *hdc.Serving, err error) {
+	explicit := r.PathValue("model")
+	if explicit == "" {
+		explicit = r.Header.Get(modelHeader)
+	}
+	if explicit == "" {
+		if s.reg != nil {
+			sv, err = s.reg.Serving(s.defaultModel)
+			return "", sv, err
+		}
+		return "", s.sv, nil
+	}
+	if s.reg == nil {
+		return "", nil, fmt.Errorf("%w: %q (no model registry attached)", modreg.ErrNotFound, explicit)
+	}
+	sv, err = s.reg.Serving(explicit)
+	return explicit, sv, err
+}
+
+// registryErrCode maps registry errors onto HTTP statuses.
+func registryErrCode(err error, fallback int) int {
+	switch {
+	case errors.Is(err, modreg.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, modreg.ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, modreg.ErrClosed):
+		return http.StatusServiceUnavailable
+	}
+	return fallback
 }
 
 // handleHealthz is liveness: the process is up and handling HTTP.
@@ -399,6 +546,10 @@ func (s *apiServer) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
 	}
+	if s.reg != nil {
+		s.handleRegistryReadyz(w)
+		return
+	}
 	gen, classes := s.sv.Generation(), s.sv.Classes()
 	if gen == 0 && classes == 0 {
 		httpError(w, http.StatusServiceUnavailable, errNoModel)
@@ -409,6 +560,42 @@ func (s *apiServer) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		"status":     "ready",
 		"generation": gen,
 		"classes":    classes,
+	})
+}
+
+// modelReadiness is one model's row in the registry-backed /readyz:
+// its Info plus the per-model ready verdict (something to classify
+// against — a published generation or snapshot classes).
+type modelReadiness struct {
+	modreg.Info
+	Ready bool `json:"ready"`
+}
+
+// handleRegistryReadyz reports per-model readiness. The top-level
+// verdict (and the status code load balancers act on) is the default
+// model's, matching what the legacy /predict route can serve; the
+// models array carries every tenant's own verdict.
+func (s *apiServer) handleRegistryReadyz(w http.ResponseWriter) {
+	infos := s.reg.List()
+	models := make([]modelReadiness, 0, len(infos))
+	ready := false
+	for _, info := range infos {
+		mr := modelReadiness{Info: info, Ready: info.Generation > 0 || info.Classes > 0}
+		if info.Name == s.defaultModel {
+			ready = mr.Ready
+		}
+		models = append(models, mr)
+	}
+	status, code := "ready", http.StatusOK
+	if !ready {
+		status, code = "not ready", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":  status,
+		"default": s.defaultModel,
+		"models":  models,
 	})
 }
 
@@ -442,12 +629,22 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	id := s.nextID.Add(1)
 	start := time.Now()
-	window, err := decodePredictWindow(s.sv, http.MaxBytesReader(w, r.Body, maxRequestBody))
+	name, sv, err := s.resolveModel(r)
+	if err != nil {
+		s.m.RecordRequest(false)
+		s.log.Debug("predict rejected", "request", id, "error", err)
+		httpError(w, registryErrCode(err, http.StatusInternalServerError), err)
+		return
+	}
+	window, err := decodePredictWindow(sv, http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err != nil {
 		s.m.RecordRequest(false)
 		s.log.Debug("predict rejected", "request", id, "error", err)
 		httpError(w, http.StatusBadRequest, err)
 		return
+	}
+	if s.reg != nil {
+		s.reg.Metrics().RecordOp(orDefault(name, s.defaultModel), "predict")
 	}
 	// When request tracing is on, the recorder rides the context down
 	// through queue → batch → encode → per-shard search; the handler
@@ -477,6 +674,8 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	p := &pendingPredict{
 		window:   window,
+		sv:       sv,
+		model:    name,
 		ctx:      ctx,
 		rec:      rec,
 		root:     root,
@@ -522,6 +721,7 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 			Label:      res.label,
 			Distance:   res.distance,
 			Generation: res.generation,
+			Model:      res.model,
 		})
 		s.log.Debug("predict", "request", id, "label", res.label,
 			"distance", res.distance, "generation", res.generation,
@@ -558,6 +758,13 @@ func (s *apiServer) handleLearn(w http.ResponseWriter, r *http.Request) {
 	}
 	id := s.nextID.Add(1)
 	start := time.Now()
+	name, sv, err := s.resolveModel(r)
+	if err != nil {
+		s.m.RecordRequest(false)
+		s.log.Debug("learn rejected", "request", id, "error", err)
+		httpError(w, registryErrCode(err, http.StatusInternalServerError), err)
+		return
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	var req learnRequest
@@ -581,20 +788,129 @@ func (s *apiServer) handleLearn(w http.ResponseWriter, r *http.Request) {
 		rec.SetParent(root)
 	}
 	// Learn serializes on the model's writer lock; the copy-on-write
-	// publish keeps concurrent predicts lock-free throughout.
-	err := s.sv.LearnCtx(ctx, req.Label, req.Window)
+	// publish keeps concurrent predicts lock-free throughout. Through a
+	// registry the learn is write-ahead logged as correction feedback
+	// before it applies, so an acknowledged learn survives a crash.
+	var gen uint64
+	var classes int
+	if s.reg != nil {
+		effective := orDefault(name, s.defaultModel)
+		err = s.reg.CorrectCtx(ctx, effective, req.Label, req.Window)
+		if info, infoErr := s.reg.ModelInfo(effective); infoErr == nil {
+			gen, classes = info.Generation, info.Classes
+		}
+	} else {
+		err = sv.LearnCtx(ctx, req.Label, req.Window)
+		gen, classes = sv.Generation(), sv.Classes()
+	}
 	rec.End(root)
 	s.timelines.Release(rec)
 	if err != nil {
 		s.m.RecordRequest(false)
 		s.log.Debug("learn rejected", "request", id, "error", err)
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, registryErrCode(err, http.StatusBadRequest), err)
 		return
 	}
 	s.m.RecordRequest(true)
-	gen, classes := s.sv.Generation(), s.sv.Classes()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(learnResponse{Generation: gen, Classes: classes})
+	json.NewEncoder(w).Encode(learnResponse{Generation: gen, Classes: classes, Model: name})
 	s.log.Debug("learn", "request", id, "label", req.Label,
 		"generation", gen, "classes", classes, "duration", time.Since(start))
+}
+
+// orDefault returns name, or def when name is empty.
+func orDefault(name, def string) string {
+	if name == "" {
+		return def
+	}
+	return name
+}
+
+// createModelRequest is the POST /models body. The new model gets the
+// server's base geometry; backend optionally overrides the item-memory
+// backend, seed the item-memory seed (so tenants get independent item
+// memories when they want them).
+type createModelRequest struct {
+	Name    string `json:"name"`
+	Backend string `json:"backend,omitempty"`
+	Seed    *int64 `json:"seed,omitempty"`
+}
+
+// handleModelsList answers GET /models with every model's Info.
+func (s *apiServer) handleModelsList(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"models": s.reg.List()})
+}
+
+// handleModelCreate answers POST /models: register a fresh model.
+func (s *apiServer) handleModelCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	var req createModelRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	cfg := s.baseConfig
+	if req.Backend != "" {
+		backend, err := hdc.ParseBackend(req.Backend)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		cfg.Backend = backend
+	}
+	if req.Seed != nil {
+		cfg.Seed = *req.Seed
+	}
+	if _, err := s.reg.Create(req.Name, cfg); err != nil {
+		httpError(w, registryErrCode(err, http.StatusBadRequest), err)
+		return
+	}
+	info, err := s.reg.ModelInfo(req.Name)
+	if err != nil {
+		httpError(w, registryErrCode(err, http.StatusInternalServerError), err)
+		return
+	}
+	s.log.Info("model created", "model", req.Name, "backend", cfg.Backend.String())
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(info)
+}
+
+// handleModelInfo answers GET /models/{model} with one model's Info.
+func (s *apiServer) handleModelInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.reg.ModelInfo(r.PathValue("model"))
+	if err != nil {
+		httpError(w, registryErrCode(err, http.StatusInternalServerError), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(info)
+}
+
+// handleModelDelete answers DELETE /models/{model}: unregister the
+// model and remove its on-disk state. The default model is protected —
+// the legacy routes would dangle without it.
+func (s *apiServer) handleModelDelete(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+	name := r.PathValue("model")
+	if name == s.defaultModel {
+		httpError(w, http.StatusConflict, fmt.Errorf("model %q is the default model and cannot be deleted", name))
+		return
+	}
+	if err := s.reg.Delete(name); err != nil {
+		httpError(w, registryErrCode(err, http.StatusInternalServerError), err)
+		return
+	}
+	s.log.Info("model deleted", "model", name)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"status": "deleted", "model": name})
 }

@@ -150,6 +150,55 @@ func (b *Bundler) Merge(o *Bundler) {
 	b.n += o.n
 }
 
+// State exports the accumulator as plain data — the addition count and
+// a deep copy of the bit-sliced count planes — so a serving snapshot
+// can persist learnable class accumulators and a warm restart can
+// resume counting exactly where the process died. The inverse is
+// NewBundlerFromState.
+func (b *Bundler) State() (n int, planes [][]uint64) {
+	// A Reset bundler keeps its allocated planes with n back at 0;
+	// export only the bits.Len(n) planes that carry live count digits,
+	// which is exactly what NewBundlerFromState validates against.
+	live := bits.Len(uint(b.n))
+	if live > 0 {
+		planes = make([][]uint64, live)
+		for p := range planes {
+			planes[p] = append([]uint64(nil), b.planes[p]...)
+		}
+	}
+	return b.n, planes
+}
+
+// NewBundlerFromState rebuilds an accumulator from State output. The
+// plane geometry is validated against (d, n): exactly bits.Len(n)
+// planes of WordsFor(d)-packed width, so a corrupted or hostile
+// snapshot cannot construct an accumulator whose later Adds write out
+// of bounds. The planes are deep-copied; the caller's slices stay
+// independent.
+func NewBundlerFromState(d, n int, planes [][]uint64) (*Bundler, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("hv: NewBundlerFromState: dimension must be positive, got %d", d)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("hv: NewBundlerFromState: negative count %d", n)
+	}
+	if want := bits.Len(uint(n)); len(planes) != want {
+		return nil, fmt.Errorf("hv: NewBundlerFromState: %d planes for count %d, want %d", len(planes), n, want)
+	}
+	b := NewBundler(d)
+	b.n = n
+	if len(planes) > 0 {
+		b.planes = make([][]uint64, len(planes))
+		for p, plane := range planes {
+			if len(plane) != b.nw64 {
+				return nil, fmt.Errorf("hv: NewBundlerFromState: plane %d has %d words, want %d", p, len(plane), b.nw64)
+			}
+			b.planes[p] = append([]uint64(nil), plane...)
+		}
+	}
+	return b, nil
+}
+
 // Reset clears the accumulator, retaining the allocated planes.
 func (b *Bundler) Reset() {
 	for _, plane := range b.planes {

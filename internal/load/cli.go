@@ -32,6 +32,7 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 5*time.Second, "client-side per-request timeout")
 	seed := fs.Int64("seed", 2018, "EMG campaign seed for the replayed session traffic")
 	seedModel := fs.Int("seed-model", 0, "POST this many /learn windows before the sweep to train an empty server (-1: the whole training split)")
+	model := fs.String("model", "", "registry model `name` to target via /models/{name}/predict and /models/{name}/learn; empty uses the legacy routes")
 	label := fs.String("label", "default", "run `label` in the JSON report (convention: the server's -im-backend value)")
 	out := fs.String("out", "", "merge the run into this JSON report `file` (e.g. benchmarks/BENCH_serving.json); empty writes no file")
 	sloExpr := fs.String("slo", "", "capacity gate, e.g. 'p99<20ms,errors<5%,knee>500' — violations exit 1 (see internal/load/slo.go)")
@@ -75,8 +76,12 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 		if n < 0 {
 			n = 0 // SeedModel treats ≤0 as "all"
 		}
-		fmt.Fprintf(stdout, "hdload: seeding model via /learn\n")
-		if err := traffic.SeedModel(ctx, client, *target, n); err != nil {
+		learnPath := "/learn"
+		if *model != "" {
+			learnPath = "/models/" + *model + "/learn"
+		}
+		fmt.Fprintf(stdout, "hdload: seeding model via %s\n", learnPath)
+		if err := traffic.SeedNamedModel(ctx, client, *target, *model, n); err != nil {
 			fmt.Fprintf(stderr, "hdload: %v\n", err)
 			return 1
 		}
@@ -92,6 +97,7 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 			Duration:    *duration,
 			Warmup:      *warmup,
 			LearnFrac:   *learnFrac,
+			Model:       *model,
 			Timeout:     *timeout,
 			Traffic:     traffic,
 			Client:      client,

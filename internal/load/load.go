@@ -61,6 +61,10 @@ type Options struct {
 	// and excluded from the latency quantiles — a generation publish is
 	// orders of magnitude above a predict and would drown the tail.
 	LearnFrac float64
+	// Model, when set, targets a named registry model via the
+	// /models/{name}/predict and /models/{name}/learn routes instead of
+	// the legacy single-model paths.
+	Model string
 	// Timeout bounds one request on the client side; a timed-out
 	// request counts as a transport error, not a 504.
 	Timeout time.Duration
@@ -232,6 +236,9 @@ func (r *runner) fire(ctx context.Context, isLearn, record bool, seq int64) {
 	path, body := "/predict", r.opts.Traffic.PredictBody(seq)
 	if isLearn {
 		path, body = "/learn", r.opts.Traffic.LearnBody(seq)
+	}
+	if r.opts.Model != "" {
+		path = "/models/" + r.opts.Model + path
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.opts.Target+path, bytes.NewReader(body))
 	if err != nil {

@@ -99,11 +99,22 @@ func (t *Traffic) LearnBody(i int64) []byte {
 // lane turns a `serve -demo=false` process into a servable model. Any
 // non-200 answer aborts with the server's error body.
 func (t *Traffic) SeedModel(ctx context.Context, client *http.Client, target string, n int) error {
+	return t.SeedNamedModel(ctx, client, target, "", n)
+}
+
+// SeedNamedModel is SeedModel against a named registry model: learns go
+// to /models/{model}/learn. An empty model name falls back to the
+// legacy /learn route.
+func (t *Traffic) SeedNamedModel(ctx context.Context, client *http.Client, target, model string, n int) error {
+	path := "/learn"
+	if model != "" {
+		path = "/models/" + model + "/learn"
+	}
 	if n <= 0 || n > len(t.learns) {
 		n = len(t.learns)
 	}
 	for i := 0; i < n; i++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/learn",
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+path,
 			strings.NewReader(string(t.learns[i])))
 		if err != nil {
 			return err

@@ -144,6 +144,14 @@ func TestPrometheusRoundTrip(t *testing.T) {
 	h.Serving.RecordQueueWait(time.Microsecond)
 	h.Serving.RecordServeBatch(4)
 	h.Pool.RecordCollective(4, 4)
+	h.Models.RecordFleet(2, 1, 4096)
+	h.Models.RecordOp("emg", "learn")
+	h.Models.RecordModelState("emg", 7, 5, 4096, 3)
+	h.Models.RecordRollingAccuracy("emg", 875)
+	h.Models.RecordWALAppend()
+	h.Models.RecordSnapshot(time.Millisecond)
+	h.Models.RecordEviction()
+	h.Models.RecordFaultIn(3)
 
 	var buf bytes.Buffer
 	if err := h.Registry.WritePrometheus(&buf); err != nil {

@@ -19,6 +19,7 @@ type Registry struct {
 	gauges     []namedGauge
 	gaugeFuncs []namedGaugeFunc
 	vecs       []namedCounterVec
+	gaugeVecs  []namedGaugeVec
 	hists      []namedHistogram
 	names      map[string]bool
 }
@@ -41,6 +42,11 @@ type namedGaugeFunc struct {
 type namedCounterVec struct {
 	name, help string
 	v          *CounterVec
+}
+
+type namedGaugeVec struct {
+	name, help string
+	v          *GaugeVec
 }
 
 type namedHistogram struct {
@@ -108,6 +114,15 @@ func (r *Registry) RegisterCounterVec(name, help string, v *CounterVec) {
 	r.vecs = append(r.vecs, namedCounterVec{name, help, v})
 }
 
+// RegisterGaugeVec exposes the labelled gauge family v under name —
+// the per-model series of the model registry.
+func (r *Registry) RegisterGaugeVec(name, help string, v *GaugeVec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	r.gaugeVecs = append(r.gaugeVecs, namedGaugeVec{name, help, v})
+}
+
 // RegisterHistogram exposes h under name; bucket bounds are exported
 // in nanoseconds (suffix the name _ns to keep the unit visible).
 func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
@@ -170,6 +185,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	for _, v := range r.gaugeVecs {
+		if err := writeHelp(v.name, v.help); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", v.name); err != nil {
+			return err
+		}
+		label := v.v.LabelName()
+		for _, s := range v.v.Snapshot() {
+			if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n",
+				v.name, label, escapeLabel(s.Value), s.Gauge); err != nil {
+				return err
+			}
+		}
+	}
 	for _, h := range r.hists {
 		if err := writeHelp(h.name, h.help); err != nil {
 			return err
@@ -215,6 +245,13 @@ func (r *Registry) Snapshot() map[string]any {
 		cells := map[string]int64{}
 		for _, s := range v.v.Snapshot() {
 			cells[s.Values[0]+"/"+s.Values[1]] = s.Count
+		}
+		out[v.name] = cells
+	}
+	for _, v := range r.gaugeVecs {
+		cells := map[string]int64{}
+		for _, s := range v.v.Snapshot() {
+			cells[s.Value] = s.Gauge
 		}
 		out[v.name] = cells
 	}
@@ -274,7 +311,11 @@ type HostMetrics struct {
 	Stream    *StreamMetrics
 	Pool      *PoolMetrics
 	Fault     *FaultMetrics
-	Registry  *Registry
+	// Models is the multi-tenant model-registry bundle (fleet gauges
+	// plus the per-model pulphd_model_* families); hand it to
+	// registry.Config.Metrics.
+	Models   *RegistryMetrics
+	Registry *Registry
 }
 
 // NewHostMetrics builds the full host metric set.
@@ -285,6 +326,7 @@ func NewHostMetrics() *HostMetrics {
 		Stream:    &StreamMetrics{Drift: NewDriftMonitor()},
 		Pool:      &PoolMetrics{},
 		Fault:     &FaultMetrics{},
+		Models:    NewRegistryMetrics(),
 		Registry:  NewRegistry(),
 	}
 	h.Serving.BatchSizes.SetBase(1)
@@ -329,5 +371,20 @@ func NewHostMetrics() *HostMetrics {
 	r.RegisterCounter("pulphd_pool_tasks_total", "chunks run by pool collectives (incl. the caller's)", &h.Pool.Tasks)
 	r.RegisterCounter("pulphd_pool_task_slots_total", "chunks pool collectives could have run (pool width); tasks/slots = utilization", &h.Pool.Slots)
 	r.RegisterCounter("pulphd_pool_serial_fallbacks_total", "collectives that ran entirely on the caller", &h.Pool.SerialFallbacks)
+	r.RegisterGauge("pulphd_registry_models", "models registered in the model registry", &h.Models.Models)
+	r.RegisterGauge("pulphd_registry_resident_models", "registry models currently resident in memory", &h.Models.ResidentModels)
+	r.RegisterGauge("pulphd_registry_resident_bytes", "summed resident footprint of in-memory registry models in bytes", &h.Models.ResidentBytes)
+	r.RegisterCounter("pulphd_registry_evictions_total", "models evicted to disk under the resident-bytes budget", &h.Models.Evictions)
+	r.RegisterCounter("pulphd_registry_fault_ins_total", "cold models loaded back from snapshot + WAL on first request", &h.Models.FaultIns)
+	r.RegisterCounter("pulphd_registry_wal_appends_total", "online learning records appended to per-model write-ahead logs", &h.Models.WALAppends)
+	r.RegisterCounter("pulphd_registry_wal_replayed_records_total", "WAL records replayed onto snapshots during fault-in/recovery", &h.Models.WALReplayed)
+	r.RegisterCounter("pulphd_registry_snapshots_total", "per-model snapshot writes", &h.Models.Snapshots)
+	r.RegisterHistogram("pulphd_registry_snapshot_latency_ns", "per-model snapshot write latency in nanoseconds", &h.Models.SnapshotNanos)
+	r.RegisterGaugeVec("pulphd_model_generation", "published model generation by model", h.Models.Generation)
+	r.RegisterGaugeVec("pulphd_model_classes", "classes in the published generation by model", h.Models.Classes)
+	r.RegisterGaugeVec("pulphd_model_resident_bytes", "resident footprint in bytes by model (0: evicted to disk)", h.Models.ModelResidentBytes)
+	r.RegisterGaugeVec("pulphd_model_wal_records", "un-snapshotted WAL records by model (the replay a restart pays)", h.Models.ModelWALRecords)
+	r.RegisterGaugeVec("pulphd_model_rolling_accuracy_permille", "rolling correction agreement by model, in 1/1000 (-1: no signal yet)", h.Models.RollingAccuracy)
+	r.RegisterCounterVec("pulphd_model_requests_total", "registry operations by (model, op)", h.Models.ModelRequests)
 	return h
 }

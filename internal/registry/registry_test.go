@@ -1,0 +1,304 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pulphd/internal/hdc"
+	"pulphd/internal/model"
+)
+
+// testConfig is a small model geometry that keeps these tests fast.
+func testConfig(backend hdc.Backend) hdc.Config {
+	cfg := hdc.EMGConfig()
+	cfg.D = 640
+	cfg.Backend = backend
+	return cfg
+}
+
+// randomWindow draws one full-shape window with channel levels inside
+// the CIM range.
+func randomWindow(cfg hdc.Config, rng *rand.Rand) [][]float64 {
+	w := make([][]float64, cfg.Window)
+	span := cfg.MaxLevel - cfg.MinLevel
+	for t := range w {
+		row := make([]float64, cfg.Channels)
+		for c := range row {
+			row[c] = cfg.MinLevel + rng.Float64()*span
+		}
+		w[t] = row
+	}
+	return w
+}
+
+// servingBytes serializes sv's complete learner state; two models with
+// equal bytes are the same model, accumulators and all.
+func servingBytes(t *testing.T, sv *hdc.Serving) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := model.SaveServing(&buf, sv, 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRegistryCreateLookupDelete(t *testing.T) {
+	r, err := Open(Config{Dir: t.TempDir(), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cfg := testConfig(hdc.BackendStored)
+	if _, err := r.Create("emg", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("emg", cfg); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v, want ErrExists", err)
+	}
+	if _, err := r.Create("../escape", cfg); err == nil {
+		t.Fatal("path-escaping name accepted")
+	}
+	if _, err := r.Serving("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("absent lookup: %v, want ErrNotFound", err)
+	}
+	sv, err := r.Serving("emg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.Classes() != 0 {
+		t.Fatalf("fresh model has %d classes", sv.Classes())
+	}
+	// On-disk layout: manifest + snapshot + wal.
+	for _, f := range []string{"MANIFEST", "emg.snap", "emg.wal"} {
+		if _, err := os.Stat(filepath.Join(r.Dir(), f)); err != nil {
+			t.Fatalf("missing %s after create: %v", f, err)
+		}
+	}
+	if err := r.Delete("emg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("emg"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v, want ErrNotFound", err)
+	}
+	for _, f := range []string{"emg.snap", "emg.wal"} {
+		if _, err := os.Stat(filepath.Join(r.Dir(), f)); !os.IsNotExist(err) {
+			t.Fatalf("%s survives delete", f)
+		}
+	}
+}
+
+func TestRegistryLearnAdvancesInfo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cfg := testConfig(hdc.BackendStored)
+	if _, err := r.Create("m", cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := r.Learn("m", "fist", randomWindow(cfg, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Correct("m", "rest", randomWindow(cfg, rng)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := r.ModelInfo("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 6 || info.Classes != 2 || info.WALRecords != 6 || !info.Resident {
+		t.Fatalf("info after 6 learns: %+v", info)
+	}
+	if err := r.Learn("m", "", randomWindow(cfg, rng)); err == nil {
+		t.Fatal("empty label accepted")
+	}
+	if err := r.Learn("m", "x", [][]float64{{1}}); err == nil {
+		t.Fatal("wrong-shape window accepted")
+	}
+	// Rejected learns advance nothing.
+	if info2, _ := r.ModelInfo("m"); info2.Generation != 6 {
+		t.Fatalf("generation moved to %d on rejected learns", info2.Generation)
+	}
+}
+
+func TestRegistryListSorted(t *testing.T) {
+	r, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cfg := testConfig(hdc.BackendStored)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, err := r.Create(name, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := r.List()
+	if len(infos) != 3 || infos[0].Name != "alpha" || infos[1].Name != "mid" || infos[2].Name != "zeta" {
+		t.Fatalf("List() = %+v, want alpha/mid/zeta", infos)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d", r.Len())
+	}
+}
+
+func TestRegistryEphemeralHasNoDisk(t *testing.T) {
+	r, err := Open(Config{ResidentBudget: 1}) // budget ignored without a dir
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Persistent() {
+		t.Fatal("ephemeral registry claims persistence")
+	}
+	cfg := testConfig(hdc.BackendStored)
+	sv, err := r.Create("m", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 4; i++ {
+		if err := r.Learn("m", "g", randomWindow(cfg, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No eviction without a snapshot to fall back on: the model must
+	// stay resident despite the 1-byte budget.
+	if got, err := r.Serving("m"); err != nil || got != sv {
+		t.Fatalf("ephemeral model evicted or replaced: %v %v", got, err)
+	}
+}
+
+func TestRegistryEvictionAndFaultIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := testConfig(hdc.BackendStored)
+	dir := t.TempDir()
+	r, err := Open(Config{Dir: dir, Shards: 2, ResidentBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Create("hot", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("cold", cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.Learn("cold", "a", randomWindow(cfg, rng)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Learn("hot", "b", randomWindow(cfg, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coldBefore := servingBytes(t, mustServing(t, r, "cold"))
+	// Touch hot last, then enforce: with a 1-byte budget every entry
+	// but the most recent loser is evicted; the LRU victim is cold.
+	if _, err := r.Serving("hot"); err != nil {
+		t.Fatal(err)
+	}
+	r.EnforceBudget()
+	if info, _ := r.ModelInfo("cold"); info.Resident {
+		t.Fatal("cold model still resident after EnforceBudget")
+	}
+	// Fault-in restores the exact model: snapshot plus replayed WAL.
+	coldAfter := servingBytes(t, mustServing(t, r, "cold"))
+	if !bytes.Equal(coldBefore, coldAfter) {
+		t.Fatal("fault-in did not restore the evicted model byte-identically")
+	}
+}
+
+func mustServing(t *testing.T, r *Registry, name string) *hdc.Serving {
+	t.Helper()
+	sv, err := r.Serving(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sv
+}
+
+func TestRegistryClosedRejectsEverything(t *testing.T) {
+	r, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("m", testConfig(hdc.BackendStored)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := r.Serving("m"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Serving after Close: %v, want ErrClosed", err)
+	}
+	if _, err := r.Create("n", testConfig(hdc.BackendStored)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Create after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestRegistrySnapshotTruncatesWAL(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := testConfig(hdc.BackendStored)
+	r, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Create("m", cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := r.Learn("m", "g", randomWindow(cfg, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if info, _ := r.ModelInfo("m"); info.WALRecords != 4 {
+		t.Fatalf("wal records %d, want 4", info.WALRecords)
+	}
+	if err := r.Snapshot("m"); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := r.ModelInfo("m")
+	if info.WALRecords != 0 || info.Generation != 4 {
+		t.Fatalf("after snapshot: %+v", info)
+	}
+	if st, err := os.Stat(filepath.Join(r.Dir(), "m.wal")); err != nil || st.Size() != 0 {
+		t.Fatalf("wal not truncated after snapshot: %v %v", st, err)
+	}
+}
+
+func TestRegistryAutoSnapshotCadence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := testConfig(hdc.BackendStored)
+	r, err := Open(Config{Dir: t.TempDir(), SnapshotEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Create("m", cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := r.Learn("m", "g", randomWindow(cfg, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 7 learns at cadence 3: snapshots after learns 3 and 6, one record
+	// left in the log.
+	info, _ := r.ModelInfo("m")
+	if info.WALRecords != 1 || info.Generation != 7 {
+		t.Fatalf("after 7 learns at cadence 3: %+v", info)
+	}
+}

@@ -17,6 +17,8 @@
 #   SWEEP_LEARN_FRAC      /learn fraction of traffic  (0.02)
 #   SWEEP_SLO             hdload -slo expression      (empty: no gate)
 #   SWEEP_SERVE_FLAGS     extra `pulphd serve` flags  (empty)
+#   SWEEP_MODEL           registry model name to sweep via the
+#                         /models/{name}/... routes   (empty: legacy routes)
 #
 # The CI capacity-smoke lane reuses this script with a short closed-loop
 # configuration; the committed BENCH_serving.json comes from the default
@@ -34,6 +36,7 @@ WARMUP="${SWEEP_WARMUP:-1s}"
 LEARN_FRAC="${SWEEP_LEARN_FRAC:-0.02}"
 SLO="${SWEEP_SLO:-}"
 SERVE_FLAGS="${SWEEP_SERVE_FLAGS:-}"
+MODEL="${SWEEP_MODEL:-}"
 
 TMP="$(mktemp -d)"
 SERVE_PID=""
@@ -76,6 +79,29 @@ for backend in $BACKENDS; do
     sleep 0.2
   done
 
+  # Legacy-route regression gate: whatever model the sweep targets, the
+  # single-model routes must still exist and answer semantically (409
+  # on an empty model is fine; 404/405 means the mux lost them).
+  code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 5 -X POST \
+    -d '{"window":[[1,2,3,4]]}' "$BASE/predict")
+  case "$code" in
+    404|405|000) fail "legacy /predict returned $code — route regressed" ;;
+  esac
+
+  # Named-route probe: create a throwaway registry model, teach it one
+  # window through /models/{name}/learn, classify through
+  # /models/{name}/predict, delete it. Fails fast when the multi-tenant
+  # surface breaks, independent of which routes the sweep below uses.
+  curl -sf --max-time 5 -X POST -d '{"name":"sweepprobe"}' "$BASE/models" >/dev/null \
+    || fail "POST /models could not create the probe model"
+  curl -sf --max-time 5 -X POST -d '{"label":"rest","window":[[1,2,3,4]]}' \
+    "$BASE/models/sweepprobe/learn" >/dev/null || fail "named /learn route failed"
+  curl -sf --max-time 5 -X POST -d '{"window":[[1,2,3,4]]}' \
+    "$BASE/models/sweepprobe/predict" | grep -q '"model":"sweepprobe"' \
+    || fail "named /predict route failed or answered for the wrong model"
+  curl -sf --max-time 5 -X DELETE "$BASE/models/sweepprobe" >/dev/null \
+    || fail "DELETE /models/{name} failed"
+
   # Mode flags: closed loop when SWEEP_CONCURRENCIES is set, open loop
   # otherwise. -seed-model -1 trains the empty server on the whole
   # training split so every class the predict traffic asks about exists.
@@ -83,9 +109,15 @@ for backend in $BACKENDS; do
   [ -n "$CONCURRENCIES" ] && mode_flags=(-concurrencies "$CONCURRENCIES")
   slo_flags=()
   [ -n "$SLO" ] && slo_flags=(-slo "$SLO")
+  model_flags=()
+  if [ -n "$MODEL" ]; then
+    curl -sf --max-time 5 -X POST -d "{\"name\":\"$MODEL\"}" "$BASE/models" >/dev/null \
+      || fail "POST /models could not create sweep model $MODEL"
+    model_flags=(-model "$MODEL")
+  fi
 
   backend_rc=0
-  "$TMP/hdload" -target "$BASE" "${mode_flags[@]}" \
+  "$TMP/hdload" -target "$BASE" "${mode_flags[@]}" "${model_flags[@]}" \
     -duration "$DURATION" -warmup "$WARMUP" -learn-frac "$LEARN_FRAC" \
     -seed-model -1 -label "$backend" -out "$OUT" "${slo_flags[@]}" || backend_rc=$?
   kill -0 "$SERVE_PID" 2>/dev/null || fail "serve ($backend) died during the sweep"

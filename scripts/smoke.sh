@@ -132,3 +132,103 @@ status=0
 wait "$SERVE_PID" || status=$?
 [ "$status" = 0 ] || fail "timeout server exited $status on SIGTERM, want 0"
 echo "smoke: predict timeout path ok (504 + counter)"
+
+# Multi-tenant registry + restart recovery: boot with a state
+# directory, create a named model, teach it over the named routes, and
+# check the legacy routes did not regress. Then SIGTERM and reboot on
+# the same directory — every model must come back at its exact
+# pre-shutdown generation, serving its learned classes.
+STATE="$TMP/state"
+"$TMP/pulphd" serve -metrics-addr "$ADDR" -demo=false -state-dir "$STATE" \
+  -log-level debug -log-format json >"$TMP/serve-registry.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+  if "${CURL[@]}" -sf "$BASE/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$TMP/serve-registry.log" >&2; fail "registry server died during startup"; }
+  [ "$i" = 50 ] && fail "registry server /healthz never came up"
+  sleep 0.2
+done
+
+regfail() {
+  echo "smoke: $*" >&2
+  echo "--- registry server log ---" >&2
+  cat "$TMP/serve-registry.log" >&2 || true
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+}
+
+# Admin surface: create a tenant, list it.
+"${CURL[@]}" -sf -o "$TMP/body" -X POST -d '{"name":"tenant"}' "$BASE/models" \
+  || regfail "POST /models failed"
+"${CURL[@]}" -sf -o "$TMP/body" "$BASE/models" || regfail "GET /models failed"
+grep -q '"name":"tenant"' "$TMP/body" || regfail "created model missing from GET /models"
+
+# Named learn ×3, then named predict answers the taught class.
+for i in 1 2 3; do
+  "${CURL[@]}" -sf -o "$TMP/body" -X POST -d '{"label":"wave","window":[[5,6,7,8]]}' \
+    "$BASE/models/tenant/learn" || regfail "POST /models/tenant/learn failed"
+done
+grep -q '"generation":3' "$TMP/body" || regfail "named learn did not reach generation 3"
+"${CURL[@]}" -sf -o "$TMP/body" -X POST -d '{"window":[[5,6,7,8]]}' \
+  "$BASE/models/tenant/predict" || regfail "POST /models/tenant/predict failed"
+grep -q '"label":"wave"' "$TMP/body" || regfail "named predict did not answer the learned label"
+grep -q '"model":"tenant"' "$TMP/body" || regfail "named predict response lacks the model name"
+
+# Legacy routes must keep serving the default model, and the header
+# must route them to the tenant — a regression here breaks every
+# pre-registry client.
+"${CURL[@]}" -sf -o "$TMP/body" -X POST -d '{"label":"rest","window":[[1,2,3,4]]}' "$BASE/learn" \
+  || regfail "legacy POST /learn regressed with a registry attached"
+"${CURL[@]}" -sf -o "$TMP/body" -X POST -d '{"window":[[1,2,3,4]]}' "$BASE/predict" \
+  || regfail "legacy POST /predict regressed with a registry attached"
+grep -q '"label":"rest"' "$TMP/body" || regfail "legacy predict lost the default model"
+"${CURL[@]}" -sf -o "$TMP/body" -X POST -H "X-PULPHD-Model: tenant" \
+  -d '{"window":[[5,6,7,8]]}' "$BASE/predict" || regfail "header-routed predict failed"
+grep -q '"model":"tenant"' "$TMP/body" || regfail "X-PULPHD-Model header did not route"
+
+# Per-model readiness and per-model metrics.
+fetch /readyz
+grep -q '"default":"default"' "$TMP/body" || regfail "/readyz lacks the default model name"
+grep -q '"name":"tenant"' "$TMP/body" || regfail "/readyz lacks the tenant row"
+fetch /metrics
+grep -q '^pulphd_model_generation{model="tenant"} 3' "$TMP/body" \
+  || regfail "/metrics lacks the tenant generation gauge"
+grep -Eq '^pulphd_registry_wal_appends_total [1-9]' "$TMP/body" \
+  || regfail "/metrics WAL append counter did not move"
+echo "smoke: multi-tenant routes, readiness and metrics ok"
+
+kill -TERM "$SERVE_PID"
+status=0
+wait "$SERVE_PID" || status=$?
+[ "$status" = 0 ] || regfail "registry server exited $status on SIGTERM, want 0"
+
+# Restart on the same state directory: recovery must serve the exact
+# pre-shutdown models — the tenant at generation 3 with its learned
+# class, the default model with its legacy-taught class.
+"$TMP/pulphd" serve -metrics-addr "$ADDR" -demo=false -state-dir "$STATE" \
+  -log-level debug -log-format json >"$TMP/serve-restart.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+  if "${CURL[@]}" -sf "$BASE/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$TMP/serve-restart.log" >&2; fail "restarted server died during startup"; }
+  [ "$i" = 50 ] && fail "restarted server /healthz never came up"
+  sleep 0.2
+done
+grep -q 'default model recovered' "$TMP/serve-restart.log" \
+  || regfail "restart did not recover the default model from disk"
+"${CURL[@]}" -sf -o "$TMP/body" -X POST -d '{"window":[[5,6,7,8]]}' \
+  "$BASE/models/tenant/predict" || regfail "post-restart named predict failed"
+grep -q '"label":"wave"' "$TMP/body" || regfail "restart lost the tenant's learned class"
+grep -q '"generation":3' "$TMP/body" || regfail "restart did not recover the exact generation"
+"${CURL[@]}" -sf -o "$TMP/body" -X POST -d '{"window":[[1,2,3,4]]}' "$BASE/predict" \
+  || regfail "post-restart legacy predict failed"
+grep -q '"label":"rest"' "$TMP/body" || regfail "restart lost the default model's class"
+kill -TERM "$SERVE_PID"
+status=0
+wait "$SERVE_PID" || status=$?
+[ "$status" = 0 ] || regfail "restarted server exited $status on SIGTERM, want 0"
+echo "smoke: restart recovery ok (models back at exact generations)"

@@ -96,7 +96,7 @@ func TestHDLoadAgainstRealServer(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	w := httptest.NewRecorder()
-	api.handleSpans(w, nil)
+	api.handleSpans(w, httptest.NewRequest(http.MethodGet, "/debug/spans", nil))
 	var events map[string]any
 	if err := json.Unmarshal(w.Body.Bytes(), &events); err != nil {
 		t.Fatalf("span export after the load phase is not valid JSON: %v", err)

@@ -67,7 +67,7 @@ func TestShedReleasesRecorder(t *testing.T) {
 	// The filed timelines must be complete span trees: request and
 	// queue.wait both present and ended.
 	w := httptest.NewRecorder()
-	api.handleSpans(w, nil)
+	api.handleSpans(w, httptest.NewRequest(http.MethodGet, "/debug/spans", nil))
 	spans := w.Body.String()
 	for _, want := range []string{`"request"`, `"queue.wait"`} {
 		if !json.Valid(w.Body.Bytes()) || !strings.Contains(spans, want) {
@@ -232,7 +232,7 @@ func TestTimeoutStormRecorderHygiene(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	w := httptest.NewRecorder()
-	api.handleSpans(w, nil)
+	api.handleSpans(w, httptest.NewRequest(http.MethodGet, "/debug/spans", nil))
 	if !json.Valid(w.Body.Bytes()) {
 		t.Fatalf("span export after storm is not valid JSON: %s", w.Body.String())
 	}

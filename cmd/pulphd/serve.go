@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	rtpprof "runtime/pprof"
 	"syscall"
 	"time"
@@ -19,6 +20,8 @@ import (
 	"pulphd/internal/fault"
 	"pulphd/internal/hdc"
 	"pulphd/internal/obs"
+	"pulphd/internal/obs/flight"
+	sloeng "pulphd/internal/obs/slo"
 	"pulphd/internal/parallel"
 	modreg "pulphd/internal/registry"
 	"pulphd/internal/stream"
@@ -160,6 +163,11 @@ func runServe(args []string) int {
 	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error (debug logs every request with its id)")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	traceRequests := fs.Int("trace-requests", 32, "request span timelines retained for /debug/spans; 0 disables request tracing")
+	flightKeep := fs.Int("flight", 128, "tail-event timelines the always-on flight recorder retains for /debug/flight (timeouts, errors, sheds, retries, degraded scans, over-SLO requests); 0 disables")
+	sloLatency := fs.Duration("slo-latency", 50*time.Millisecond, "default per-model SLO latency objective; requests slower than this count against the latency target and trip the flight recorder's slow trigger (0 disables the SLO engine)")
+	sloTarget := fs.Float64("slo-latency-target", 0.99, "fraction of requests that must meet the latency objective")
+	sloBudget := fs.Float64("slo-error-budget", 0.01, "fraction of requests allowed to fail before the error burn rate rises")
+	sloBurn := fs.Float64("slo-burn", 2, "burn-rate threshold; both the 5m and 1h windows above it is an SLO breach (fires the flight auto-dump)")
 	grace := fs.Duration("shutdown-grace", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
 	predictTimeout := fs.Duration("predict-timeout", 0, "per-request /predict deadline; expired requests get 504 (0 disables)")
 	predictRetries := fs.Int("predict-retries", 2, "bounded retries after a recovered predict panic before answering 500")
@@ -258,6 +266,57 @@ func runServe(args []string) int {
 	if *traceRequests > 0 {
 		api.timelines = obs.NewTimelines(*traceRequests, 64)
 	}
+	api.flight = flight.NewRing(*flightKeep, 64)
+	if *sloLatency > 0 {
+		sloCfg := sloeng.Config{
+			Default: sloeng.Objective{
+				Latency:       *sloLatency,
+				LatencyTarget: *sloTarget,
+				ErrorBudget:   *sloBudget,
+			},
+			BurnThreshold: *sloBurn,
+		}
+		// On a burn-rate breach the flight recorder's current contents —
+		// the last N tail events with full timelines — are dumped to
+		// -state-dir/flight/ as Chrome trace JSON: the black box lands on
+		// disk the moment the SLO says the incident is real.
+		ring := api.flight
+		dumpDir := ""
+		if *stateDir != "" {
+			dumpDir = filepath.Join(*stateDir, "flight")
+		}
+		sloCfg.OnBreach = func(model string, st sloeng.Status) {
+			logger.Warn("SLO burn-rate breach", "model", model,
+				"fast_burn", st.Fast.Burn, "slow_burn", st.Slow.Burn,
+				"fast_requests", st.Fast.Requests, "breaches", st.Breaches)
+			if dumpDir == "" || ring == nil {
+				return
+			}
+			if err := os.MkdirAll(dumpDir, 0o755); err != nil {
+				logger.Warn("flight dump", "error", err)
+				return
+			}
+			path := filepath.Join(dumpDir, fmt.Sprintf("breach-%s-%d.json", model, time.Now().UnixNano()))
+			f, err := os.Create(path)
+			if err != nil {
+				logger.Warn("flight dump", "error", err)
+				return
+			}
+			// The whole ring, not just the breaching model: cross-tenant
+			// interference is usually the story of a shared-queue breach.
+			err = ring.WriteChromeTrace(f, "")
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				logger.Warn("flight dump", "error", err, "path", path)
+				return
+			}
+			logger.Info("flight dump written", "path", path, "captures", ring.Captures())
+		}
+		api.slo = sloeng.New(sloCfg)
+		api.slo.RegisterMetrics(h.Registry)
+	}
 	if sh := *chaosShard; sh >= 0 {
 		logger.Warn("chaos enabled: sharded scans of one AM shard will panic", "shard", sh)
 		hdc.SetShardChaos(func(shard int) {
@@ -295,7 +354,7 @@ func runServe(args []string) int {
 	logger.Info("serving",
 		"addr", *addr, "model", *defaultModel, "classes", sv.Classes(), "shards", sv.AM().Shards(),
 		"state_dir", *stateDir,
-		"endpoints", "/predict /learn /models /models/{name}/predict /models/{name}/learn /healthz /readyz /metrics /debug/vars /debug/pprof/ /debug/spans")
+		"endpoints", "/predict /learn /models /models/{name}/predict /models/{name}/learn /models/{name}/slo /healthz /readyz /metrics /debug/vars /debug/pprof/ /debug/spans /debug/flight")
 
 	select {
 	case err := <-errc:

@@ -15,6 +15,8 @@ import (
 
 	"pulphd/internal/hdc"
 	"pulphd/internal/obs"
+	"pulphd/internal/obs/flight"
+	sloeng "pulphd/internal/obs/slo"
 	"pulphd/internal/parallel"
 	modreg "pulphd/internal/registry"
 )
@@ -134,6 +136,26 @@ type pendingPredict struct {
 	// sustained timeout storm reuses the same recorders rather than
 	// allocating one per abandoned request.
 	completions atomic.Int32
+
+	// trig accumulates flight-recorder trigger bits from both sides
+	// (handler: timeout, shed; dispatcher: error, retry, degraded) and
+	// gen the generation the dispatcher's predict scanned. Atomic
+	// because both sides may write on the tail paths; the second
+	// completion reads them when it decides whether to pin the
+	// timeline.
+	trig atomic.Uint32
+	gen  atomic.Uint64
+}
+
+// addTrigger ORs one trigger bit in (atomic.Uint32 gains Or only in
+// go1.23; this CAS loop is the 1.22 spelling).
+func (p *pendingPredict) addTrigger(t flight.Trigger) {
+	for {
+		old := p.trig.Load()
+		if old&uint32(t) == uint32(t) || p.trig.CompareAndSwap(old, old|uint32(t)) {
+			return
+		}
+	}
 }
 
 type predictResult struct {
@@ -141,7 +163,12 @@ type predictResult struct {
 	distance   int
 	generation uint64
 	model      string
-	err        error
+	// degraded and retried carry the tail-event facts out of the
+	// dispatcher: the predict fell back to the flat scan, or needed at
+	// least one retry after a recovered panic.
+	degraded bool
+	retried  bool
+	err      error
 }
 
 // apiServer owns the serving model, the bounded predict queue, and the
@@ -187,6 +214,12 @@ type apiServer struct {
 	// /debug/spans. Both are optional and set before start().
 	log       *slog.Logger
 	timelines *obs.Timelines
+
+	// slo is the per-tenant SLO engine (burn rates, breach callback)
+	// and flight the tail-event recorder that /debug/flight dumps.
+	// Both optional, set before start(), and nil-safe throughout.
+	slo    *sloeng.Engine
+	flight *flight.Ring
 
 	// nextID tags every request with a process-unique id (log lines
 	// and span timelines correlate on it). draining flips once at
@@ -318,24 +351,73 @@ func (s *apiServer) dispatch() {
 }
 
 // answer sends the dispatcher's result and marks the dispatcher's side
-// of the request complete. complete runs before the send so recorder
-// ownership is already resolved when the handler wakes: either the
-// handler is still waiting on done (it completes second and recycles
-// the recorder itself), or it abandoned the request (the dispatcher is
-// second and recycles here, after its last span write).
+// of the request complete. The dispatcher's tail-event facts (result
+// generation, error/retry/degraded trigger bits) are published first:
+// complete runs before the send so recorder ownership — and the flight
+// capture the second completion performs — is already resolved when
+// the handler wakes: either the handler is still waiting on done (it
+// completes second and recycles the recorder itself), or it abandoned
+// the request (the dispatcher is second and recycles here, after its
+// last span write).
 func (s *apiServer) answer(p *pendingPredict, res predictResult) {
+	p.gen.Store(res.generation)
+	if res.retried {
+		p.addTrigger(flight.TrigRetry)
+	}
+	if res.degraded {
+		p.addTrigger(flight.TrigDegraded)
+	}
+	if res.err != nil && !errors.Is(res.err, errNoModel) {
+		// errNoModel is a client-shaped 409, not a tail event; the
+		// deadline sentinel is the 504 taxonomy bit, everything else
+		// (panic-retries exhausted, shutdown) is an error capture.
+		if errors.Is(res.err, errDeadline) {
+			p.addTrigger(flight.TrigTimeout)
+		} else {
+			p.addTrigger(flight.TrigError)
+		}
+	}
 	s.complete(p)
 	p.done <- res
 }
 
 // complete marks one side (handler or dispatcher) finished with the
-// request; the second completion ends the root span and files the
-// recorder into the timeline ring for recycling.
+// request; the second completion ends the root span, pins the timeline
+// into the flight recorder when the request tripped a trigger, and
+// files the recorder into the timeline ring for recycling.
 func (s *apiServer) complete(p *pendingPredict) {
 	if p.completions.Add(1) == 2 {
 		p.rec.End(p.root)
+		s.capture(p)
 		s.timelines.Release(p.rec)
 	}
+}
+
+// capture decides whether the finished request is a tail event and, if
+// so, copies its timeline into the flight recorder before the recorder
+// is recycled. The accumulated trigger bits come from both sides of
+// the request; the slow trigger is computed here against the model's
+// SLO latency objective. On the healthy path this is a handful of
+// atomic loads and compares — no allocation, no capture.
+func (s *apiServer) capture(p *pendingPredict) {
+	if s.flight == nil {
+		return
+	}
+	trig := flight.Trigger(p.trig.Load())
+	dur := time.Since(p.enqueued)
+	model := orDefault(p.model, s.defaultModel)
+	if trig&flight.TrigSlow == 0 {
+		if th := s.slo.SlowThreshold(model); th > 0 && dur > th {
+			trig |= flight.TrigSlow
+		}
+	}
+	s.flight.Capture(p.rec, model, p.gen.Load(), trig, dur)
+}
+
+// recordSLO folds one finished request into the per-tenant SLO engine
+// (nil-safe: a server without an engine records nothing).
+func (s *apiServer) recordSLO(model string, start time.Time, failed bool) {
+	s.slo.Record(orDefault(model, s.defaultModel), time.Since(start), failed)
 }
 
 // maxRetryBackoff caps the doubling predict-retry backoff: past it
@@ -374,12 +456,14 @@ func (s *apiServer) predictOne(p *pendingPredict) predictResult {
 		ctx = context.Background()
 	}
 	for attempt := 0; ; attempt++ {
-		label, dist, gen, err := s.tryPredict(ctx, p)
+		label, dist, gen, degraded, err := s.tryPredict(ctx, p)
 		if err == nil {
-			return predictResult{label: label, distance: dist, generation: gen, model: p.model}
+			return predictResult{label: label, distance: dist, generation: gen,
+				model: p.model, degraded: degraded, retried: attempt > 0}
 		}
 		if attempt >= s.retries {
-			return predictResult{err: fmt.Errorf("%w: %v", errPredictPanic, err)}
+			return predictResult{retried: attempt > 0,
+				err: fmt.Errorf("%w: %v", errPredictPanic, err)}
 		}
 		s.m.RecordRetry()
 		if d := s.backoff(attempt); d > 0 {
@@ -428,8 +512,10 @@ func (s *apiServer) sessionFor(sv *hdc.Serving) *hdc.Session {
 // escaped mid-collective may have left stale barrier signals that
 // would poison every later collective on the same pool. The
 // generation is read from the session after the predict — the
-// generation its atomic load actually scanned.
-func (s *apiServer) tryPredict(ctx context.Context, p *pendingPredict) (label string, dist int, gen uint64, err error) {
+// generation its atomic load actually scanned — and degraded reports
+// whether this predict fell back to the flat AM scan after a shard
+// failure (a flight-recorder trigger).
+func (s *apiServer) tryPredict(ctx context.Context, p *pendingPredict) (label string, dist int, gen uint64, degraded bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.m.RecordPanicRecovered()
@@ -440,7 +526,7 @@ func (s *apiServer) tryPredict(ctx context.Context, p *pendingPredict) (label st
 	}()
 	ses := s.sessionFor(s.modelFor(p))
 	label, dist = ses.PredictCtx(ctx, s.pool, p.window)
-	return label, dist, ses.Generation(), nil
+	return label, dist, ses.Generation(), ses.Degraded(), nil
 }
 
 // replacePoolAndSession swaps in a fresh worker pool and serving
@@ -482,6 +568,7 @@ func (s *apiServer) register(mux *http.ServeMux) {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/spans", s.handleSpans)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
 	if s.reg == nil {
 		return
 	}
@@ -491,21 +578,25 @@ func (s *apiServer) register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /models", s.handleModelCreate)
 	mux.HandleFunc("GET /models/{model}", s.handleModelInfo)
 	mux.HandleFunc("DELETE /models/{model}", s.handleModelDelete)
+	mux.HandleFunc("GET /models/{model}/slo", s.handleModelSLO)
+	mux.HandleFunc("POST /models/{model}/slo", s.handleModelSLOSet)
 }
 
 // resolveModel picks the model a request addresses: the {model} path
 // segment, the X-PULPHD-Model header, or the default. The returned
 // name is empty exactly when the request did not route explicitly (the
 // legacy shape), even though a registry-backed default still serves
-// it.
-func (s *apiServer) resolveModel(r *http.Request) (name string, sv *hdc.Serving, err error) {
+// it. ctx carries the request's span recorder, so a cold model's
+// fault-in (snapshot read, WAL replay) shows up as registry.faultin /
+// registry.recover spans inside the request timeline that paid for it.
+func (s *apiServer) resolveModel(ctx context.Context, r *http.Request) (name string, sv *hdc.Serving, err error) {
 	explicit := r.PathValue("model")
 	if explicit == "" {
 		explicit = r.Header.Get(modelHeader)
 	}
 	if explicit == "" {
 		if s.reg != nil {
-			sv, err = s.reg.Serving(s.defaultModel)
+			sv, err = s.reg.ServingCtx(ctx, s.defaultModel)
 			return "", sv, err
 		}
 		return "", s.sv, nil
@@ -513,7 +604,7 @@ func (s *apiServer) resolveModel(r *http.Request) (name string, sv *hdc.Serving,
 	if s.reg == nil {
 		return "", nil, fmt.Errorf("%w: %q (no model registry attached)", modreg.ErrNotFound, explicit)
 	}
-	sv, err = s.reg.Serving(explicit)
+	sv, err = s.reg.ServingCtx(ctx, explicit)
 	return explicit, sv, err
 }
 
@@ -600,14 +691,106 @@ func (s *apiServer) handleRegistryReadyz(w http.ResponseWriter) {
 }
 
 // handleSpans exports the retained request timelines as Chrome
-// trace-event JSON (load in ui.perfetto.dev).
-func (s *apiServer) handleSpans(w http.ResponseWriter, _ *http.Request) {
+// trace-event JSON (load in ui.perfetto.dev); ?model= scopes the dump
+// to one tenant's requests.
+func (s *apiServer) handleSpans(w http.ResponseWriter, r *http.Request) {
 	if s.timelines == nil {
 		httpError(w, http.StatusNotFound, errors.New("request tracing disabled; serve with -trace-requests > 0"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	s.timelines.WriteChromeTrace(w)
+	s.timelines.WriteChromeTraceModel(w, r.URL.Query().Get("model"))
+}
+
+// handleFlight exports the flight recorder's captured tail events:
+// Chrome trace-event JSON by default, ?summary=1 for the compact form
+// hdload attaches to capacity reports, ?model= scoped to one tenant.
+func (s *apiServer) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		httpError(w, http.StatusNotFound, errors.New("flight recorder disabled; serve with -flight > 0"))
+		return
+	}
+	model := r.URL.Query().Get("model")
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("summary") != "" {
+		s.flight.WriteSummary(w, model)
+		return
+	}
+	s.flight.WriteChromeTrace(w, model)
+}
+
+// handleModelSLO answers GET /models/{model}/slo with the model's SLO
+// status: objective, dual-window burn rates, breach state, latency
+// quantiles.
+func (s *apiServer) handleModelSLO(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		httpError(w, http.StatusNotFound, errors.New("SLO engine disabled; serve with -slo-latency > 0"))
+		return
+	}
+	name := r.PathValue("model")
+	if _, err := s.reg.ModelInfo(name); err != nil {
+		httpError(w, registryErrCode(err, http.StatusInternalServerError), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.slo.Status(name))
+}
+
+// sloObjectiveRequest is the POST /models/{model}/slo body; absent
+// fields keep their current value.
+type sloObjectiveRequest struct {
+	LatencyMs     *float64 `json:"latency_ms"`
+	LatencyTarget *float64 `json:"latency_target"`
+	ErrorBudget   *float64 `json:"error_budget"`
+}
+
+// handleModelSLOSet answers POST /models/{model}/slo: adjust one
+// tenant's objective (latency bound, latency target, error budget) at
+// runtime and return the resulting status.
+func (s *apiServer) handleModelSLOSet(w http.ResponseWriter, r *http.Request) {
+	if s.slo == nil {
+		httpError(w, http.StatusNotFound, errors.New("SLO engine disabled; serve with -slo-latency > 0"))
+		return
+	}
+	name := r.PathValue("model")
+	if _, err := s.reg.ModelInfo(name); err != nil {
+		httpError(w, registryErrCode(err, http.StatusInternalServerError), err)
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	var req sloObjectiveRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	obj := s.slo.Objective(name)
+	if req.LatencyMs != nil {
+		if *req.LatencyMs <= 0 {
+			httpError(w, http.StatusBadRequest, errors.New("latency_ms must be positive"))
+			return
+		}
+		obj.Latency = time.Duration(*req.LatencyMs * float64(time.Millisecond))
+	}
+	if req.LatencyTarget != nil {
+		if *req.LatencyTarget <= 0 || *req.LatencyTarget >= 1 {
+			httpError(w, http.StatusBadRequest, errors.New("latency_target must be in (0, 1)"))
+			return
+		}
+		obj.LatencyTarget = *req.LatencyTarget
+	}
+	if req.ErrorBudget != nil {
+		if *req.ErrorBudget <= 0 || *req.ErrorBudget >= 1 {
+			httpError(w, http.StatusBadRequest, errors.New("error_budget must be in (0, 1)"))
+			return
+		}
+		obj.ErrorBudget = *req.ErrorBudget
+	}
+	s.slo.SetObjective(name, obj)
+	s.log.Info("model SLO updated", "model", name,
+		"latency", obj.Latency, "latency_target", obj.LatencyTarget, "error_budget", obj.ErrorBudget)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.slo.Status(name))
 }
 
 // httpError responds with a JSON error body.
@@ -629,27 +812,13 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	id := s.nextID.Add(1)
 	start := time.Now()
-	name, sv, err := s.resolveModel(r)
-	if err != nil {
-		s.m.RecordRequest(false)
-		s.log.Debug("predict rejected", "request", id, "error", err)
-		httpError(w, registryErrCode(err, http.StatusInternalServerError), err)
-		return
-	}
-	window, err := decodePredictWindow(sv, http.MaxBytesReader(w, r.Body, maxRequestBody))
-	if err != nil {
-		s.m.RecordRequest(false)
-		s.log.Debug("predict rejected", "request", id, "error", err)
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	if s.reg != nil {
-		s.reg.Metrics().RecordOp(orDefault(name, s.defaultModel), "predict")
-	}
 	// When request tracing is on, the recorder rides the context down
-	// through queue → batch → encode → per-shard search; the handler
-	// owns it and files it into the timeline ring when the request is
-	// answered.
+	// through model resolution (fault-in spans) and queue → batch →
+	// encode → per-shard search; the handler owns it and files it into
+	// the timeline ring when the request is answered. It is acquired
+	// before the model resolves so a cold fault-in lands in this
+	// request's timeline, which means the pre-enqueue error paths below
+	// must close the root span and recycle it themselves.
 	rec := s.timelines.Acquire(id)
 	ctx := r.Context()
 	root := obs.NoSpan
@@ -658,6 +827,30 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 		root = rec.Start("request", obs.NoSpan)
 		rec.Annotate(root, "id", int64(id))
 		rec.SetParent(root)
+	}
+	name, sv, err := s.resolveModel(ctx, r)
+	if err != nil {
+		s.m.RecordRequest(false)
+		rec.End(root)
+		s.timelines.Release(rec)
+		s.log.Debug("predict rejected", "request", id, "error", err)
+		httpError(w, registryErrCode(err, http.StatusInternalServerError), err)
+		return
+	}
+	if rec != nil {
+		rec.Model = orDefault(name, s.defaultModel)
+	}
+	window, err := decodePredictWindow(sv, http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		s.m.RecordRequest(false)
+		rec.End(root)
+		s.timelines.Release(rec)
+		s.log.Debug("predict rejected", "request", id, "error", err)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.reg != nil {
+		s.reg.Metrics().RecordOp(orDefault(name, s.defaultModel), "predict")
 	}
 	// The per-request deadline rides the context: when it expires the
 	// handler answers 504 below, and the dispatcher sees the dead
@@ -688,13 +881,16 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.m.RecordRequest(true)
 	default:
 		// Shed: the dispatcher never sees this request, so the handler
-		// alone closes the spans it opened and recycles the recorder —
-		// leaking it here would defeat the free list exactly when load
-		// is highest.
+		// alone closes the spans it opened, pins the shed into the
+		// flight recorder, and recycles the recorder — leaking it here
+		// would defeat the free list exactly when load is highest.
 		s.m.RecordRequest(false)
 		rec.End(p.wait)
 		rec.End(root)
+		p.addTrigger(flight.TrigShed)
+		s.capture(p)
 		s.timelines.Release(rec)
+		s.recordSLO(name, start, true)
 		s.log.Debug("predict shed", "request", id, "reason", "queue full")
 		httpError(w, http.StatusTooManyRequests, errors.New("predict queue full; retry"))
 		return
@@ -712,10 +908,16 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 			case errors.Is(res.err, errDeadline):
 				code = http.StatusGatewayTimeout
 			}
+			// errNoModel is the client's 409, not a burn against the
+			// model's error budget; every 5xx is.
+			if !errors.Is(res.err, errNoModel) {
+				s.recordSLO(name, start, true)
+			}
 			s.log.Debug("predict failed", "request", id, "error", res.err)
 			httpError(w, code, res.err)
 			return
 		}
+		s.recordSLO(name, start, false)
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(predictResponse{
 			Label:      res.label,
@@ -732,11 +934,15 @@ func (s *apiServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 		// request (or its answer lands in the buffered channel, read by
 		// nobody). The handler must not touch the recorder past this
 		// point — the dispatcher may still be writing spans into it —
-		// so complete hands ownership over: the dispatcher's own
-		// completion recycles the recorder after its last span write.
+		// so the timeout trigger is published first and complete hands
+		// ownership over: the dispatcher's own completion captures the
+		// flight entry and recycles the recorder after its last span
+		// write.
 		s.m.RecordTimeout()
+		s.recordSLO(name, start, true)
 		s.log.Debug("predict timeout", "request", id, "after", s.timeout)
 		httpError(w, http.StatusGatewayTimeout, errDeadline)
+		p.addTrigger(flight.TrigTimeout)
 		s.complete(p)
 	case <-r.Context().Done():
 		// The dispatcher will still answer p.done (buffered), nobody
@@ -758,26 +964,10 @@ func (s *apiServer) handleLearn(w http.ResponseWriter, r *http.Request) {
 	}
 	id := s.nextID.Add(1)
 	start := time.Now()
-	name, sv, err := s.resolveModel(r)
-	if err != nil {
-		s.m.RecordRequest(false)
-		s.log.Debug("learn rejected", "request", id, "error", err)
-		httpError(w, registryErrCode(err, http.StatusInternalServerError), err)
-		return
-	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
-	dec.DisallowUnknownFields()
-	var req learnRequest
-	if err := dec.Decode(&req); err != nil {
-		s.m.RecordRequest(false)
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
-	}
-	if req.Label == "" {
-		s.m.RecordRequest(false)
-		httpError(w, http.StatusBadRequest, errors.New("label must be non-empty"))
-		return
-	}
+	// The learn recorder is single-owner (no dispatcher side): acquired
+	// before model resolution so a cold fault-in and the WAL append /
+	// fsync spans land in this request's timeline, closed and recycled
+	// by this handler on every path.
 	rec := s.timelines.Acquire(id)
 	ctx := r.Context()
 	root := obs.NoSpan
@@ -786,6 +976,35 @@ func (s *apiServer) handleLearn(w http.ResponseWriter, r *http.Request) {
 		root = rec.Start("request", obs.NoSpan)
 		rec.Annotate(root, "id", int64(id))
 		rec.SetParent(root)
+	}
+	name, sv, err := s.resolveModel(ctx, r)
+	if err != nil {
+		s.m.RecordRequest(false)
+		rec.End(root)
+		s.timelines.Release(rec)
+		s.log.Debug("learn rejected", "request", id, "error", err)
+		httpError(w, registryErrCode(err, http.StatusInternalServerError), err)
+		return
+	}
+	if rec != nil {
+		rec.Model = orDefault(name, s.defaultModel)
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	var req learnRequest
+	if err := dec.Decode(&req); err != nil {
+		s.m.RecordRequest(false)
+		rec.End(root)
+		s.timelines.Release(rec)
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Label == "" {
+		s.m.RecordRequest(false)
+		rec.End(root)
+		s.timelines.Release(rec)
+		httpError(w, http.StatusBadRequest, errors.New("label must be non-empty"))
+		return
 	}
 	// Learn serializes on the model's writer lock; the copy-on-write
 	// publish keeps concurrent predicts lock-free throughout. Through a
@@ -804,13 +1023,38 @@ func (s *apiServer) handleLearn(w http.ResponseWriter, r *http.Request) {
 		gen, classes = sv.Generation(), sv.Classes()
 	}
 	rec.End(root)
+	// Tail-event bookkeeping before the recorder recycles: a 5xx learn
+	// or one slower than its model's latency objective pins the
+	// timeline (WAL fsync stalls are exactly what this catches), and
+	// the SLO engine sees every server-side outcome. Client-shaped
+	// rejections (4xx) burn no error budget.
+	code := 0
+	if err != nil {
+		code = registryErrCode(err, http.StatusBadRequest)
+	}
+	if s.flight != nil {
+		var trig flight.Trigger
+		if code >= 500 {
+			trig |= flight.TrigError
+		}
+		dur := time.Since(start)
+		effective := orDefault(name, s.defaultModel)
+		if th := s.slo.SlowThreshold(effective); th > 0 && dur > th {
+			trig |= flight.TrigSlow
+		}
+		s.flight.Capture(rec, effective, gen, trig, dur)
+	}
 	s.timelines.Release(rec)
 	if err != nil {
 		s.m.RecordRequest(false)
+		if code >= 500 {
+			s.recordSLO(name, start, true)
+		}
 		s.log.Debug("learn rejected", "request", id, "error", err)
-		httpError(w, registryErrCode(err, http.StatusBadRequest), err)
+		httpError(w, code, err)
 		return
 	}
+	s.recordSLO(name, start, false)
 	s.m.RecordRequest(true)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(learnResponse{Generation: gen, Classes: classes, Model: name})
@@ -910,6 +1154,7 @@ func (s *apiServer) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, registryErrCode(err, http.StatusInternalServerError), err)
 		return
 	}
+	s.slo.Forget(name)
 	s.log.Info("model deleted", "model", name)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]string{"status": "deleted", "model": name})

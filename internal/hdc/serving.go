@@ -452,6 +452,10 @@ type Session struct {
 	// the accesses, exactly as for am above).
 	rec        *obs.Spans
 	searchSpan obs.SpanID
+	// lastDegraded records whether the most recent predict fell back to
+	// the flat scan after a shard failure — the tail-event bit the
+	// flight recorder captures. Single-goroutine, like lastGen.
+	lastDegraded bool
 }
 
 // NewSession returns a fresh serving handle.
@@ -491,12 +495,18 @@ func (s *Session) searchShard(sh int) {
 // shards (recovered panics) and redoing the whole search as a serial
 // flat scan over the generation's prototypes — degraded but correct:
 // the fallback touches no pool, no chaos hook, and no shard machinery.
-// Degraded scans count in the serving metrics.
-func (s *Session) reduceOrFallback(am *ShardedAM) (int, int) {
+// Degraded scans count in the serving metrics, raise the session's
+// Degraded flag, and record an am.degraded span under parent when a
+// recorder rides the request.
+func (s *Session) reduceOrFallback(am *ShardedAM, rec *obs.Spans, parent obs.SpanID) (int, int) {
 	for _, r := range s.scratch {
 		if r == failedShard {
+			s.lastDegraded = true
 			servingMetrics().RecordDegraded()
-			return am.NearestInto(nil, s.ctx.query, nil)
+			id := rec.Start("am.degraded", parent)
+			idx, dist := am.NearestInto(nil, s.ctx.query, nil)
+			rec.End(id)
+			return idx, dist
 		}
 	}
 	return Reduce(s.scratch)
@@ -511,6 +521,7 @@ func (s *Session) predict(pool *parallel.Pool, window [][]float64) (string, int)
 		panic("hdc: Serving.Predict with no classes")
 	}
 	s.lastGen = gen.id
+	s.lastDegraded = false
 	s.ctx.encodeTo(s.ctx.query, window, s.sv.cfg.NGram)
 	n := am.Shards()
 	if pool == nil || n == 1 {
@@ -524,7 +535,7 @@ func (s *Session) predict(pool *parallel.Pool, window [][]float64) (string, int)
 	s.am = am
 	pool.ForRange(n, s.fn)
 	s.am = nil
-	idx, dist := s.reduceOrFallback(am)
+	idx, dist := s.reduceOrFallback(am, nil, obs.NoSpan)
 	return am.labels[idx], dist
 }
 
@@ -559,6 +570,7 @@ func (s *Session) predictStaged(rec *obs.Spans, m *obs.InferenceMetrics, parent 
 		panic("hdc: Serving.Predict with no classes")
 	}
 	s.lastGen = gen.id
+	s.lastDegraded = false
 	encStart := time.Now()
 	enc := rec.Start("encode", parent)
 	s.ctx.encodeTo(s.ctx.query, window, s.sv.cfg.NGram)
@@ -581,7 +593,7 @@ func (s *Session) predictStaged(rec *obs.Spans, m *obs.InferenceMetrics, parent 
 		s.am, s.rec, s.searchSpan = am, rec, search
 		pool.ForRange(n, s.fn)
 		s.am, s.rec, s.searchSpan = nil, nil, obs.NoSpan
-		idx, dist = s.reduceOrFallback(am)
+		idx, dist = s.reduceOrFallback(am, rec, search)
 	}
 	rec.End(search)
 	m.RecordStages(encode, time.Since(searchStart))
@@ -593,6 +605,11 @@ func (s *Session) predictStaged(rec *obs.Spans, m *obs.InferenceMetrics, parent 
 // Session method it is single-goroutine: only the goroutine driving
 // the session may read it.
 func (s *Session) Generation() uint64 { return s.lastGen }
+
+// Degraded reports whether the session's most recent predict fell back
+// to the flat scan after a shard failure. Single-goroutine, like
+// Generation.
+func (s *Session) Degraded() bool { return s.lastDegraded }
 
 // Predict classifies one window with a serial AM scan.
 func (s *Session) Predict(window [][]float64) (label string, distance int) {

@@ -88,6 +88,7 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	var results []Result
+	var flightSeq uint64 // last capture seen, so each phase attaches only its own tail events
 	for _, ph := range phases {
 		opts := Options{
 			Target:      *target,
@@ -106,6 +107,20 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintf(stderr, "hdload: %v\n", err)
 			return 1
+		}
+		// Attach the phase's worst tail events from the server's flight
+		// recorder; a server without one (404) just yields none.
+		if events, ferr := FetchFlight(ctx, client, *target, *model); ferr != nil {
+			fmt.Fprintf(stderr, "hdload: flight fetch failed (continuing): %v\n", ferr)
+		} else if len(events) > 0 {
+			res.Flight = WorstOffenders(events, flightSeq, 3)
+			if s := maxSeq(events); s > flightSeq {
+				flightSeq = s
+			}
+			if len(res.Flight) > 0 {
+				fmt.Fprintf(stdout, "flight: %d tail events this phase, worst %.2f ms (%s)\n",
+					len(res.Flight), res.Flight[0].DurationMs, res.Flight[0].Trigger)
+			}
 		}
 		results = append(results, res)
 		if ctx.Err() != nil {

@@ -99,6 +99,11 @@ type Result struct {
 	P99Ms  float64 `json:"p99_ms"`
 	P999Ms float64 `json:"p999_ms"`
 	MaxMs  float64 `json:"max_ms"`
+
+	// Flight holds the worst tail events the server's flight recorder
+	// captured during this phase (fetched from /debug/flight after the
+	// phase; empty when the server runs without a recorder).
+	Flight []FlightEvent `json:"flight,omitempty"`
 }
 
 // runner is the shared state of one phase's workers.

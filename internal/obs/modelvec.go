@@ -123,6 +123,12 @@ type RegistryMetrics struct {
 	WALReplayed   Counter
 	Snapshots     Counter
 	SnapshotNanos Histogram
+	// WALFsyncNanos times the fsync after each durable WAL append
+	// (exported seconds-scaled as pulphd_registry_wal_fsync_seconds);
+	// FaultInNanos times whole cold-model loads, snapshot read plus WAL
+	// replay (exported as pulphd_registry_faultin_seconds).
+	WALFsyncNanos Histogram
+	FaultInNanos  Histogram
 	// Per-model families, labelled by model name.
 	Generation         *GaugeVec
 	Classes            *GaugeVec
@@ -202,13 +208,23 @@ func (m *RegistryMetrics) RecordEviction() {
 	m.Evictions.Inc()
 }
 
-// RecordFaultIn folds one cold-model load that replayed n WAL records.
-func (m *RegistryMetrics) RecordFaultIn(replayed int) {
+// RecordFaultIn folds one cold-model load that replayed n WAL records
+// and took d end to end (snapshot read + replay + publish).
+func (m *RegistryMetrics) RecordFaultIn(replayed int, d time.Duration) {
 	if m == nil {
 		return
 	}
 	m.FaultIns.Inc()
 	m.WALReplayed.Add(int64(replayed))
+	m.FaultInNanos.Observe(d)
+}
+
+// RecordWALFsync times one fsync on the durable WAL append path.
+func (m *RegistryMetrics) RecordWALFsync(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.WALFsyncNanos.Observe(d)
 }
 
 // RecordRollingAccuracy updates one model's drift gauge (permille; -1

@@ -151,7 +151,12 @@ func TestPrometheusRoundTrip(t *testing.T) {
 	h.Models.RecordWALAppend()
 	h.Models.RecordSnapshot(time.Millisecond)
 	h.Models.RecordEviction()
-	h.Models.RecordFaultIn(3)
+	h.Models.RecordFaultIn(3, 2*time.Millisecond)
+	h.Models.RecordWALFsync(500 * time.Microsecond)
+	h.Registry.RegisterGaugeVecFunc("pulphd_model_slo_test_milli", "scrape-time labeled gauges", "model",
+		func() []GaugeCell {
+			return []GaugeCell{{Value: hostile, Gauge: 1500}, {Value: "emg", Gauge: 250}}
+		})
 
 	var buf bytes.Buffer
 	if err := h.Registry.WritePrometheus(&buf); err != nil {
@@ -237,6 +242,59 @@ func TestPrometheusRoundTrip(t *testing.T) {
 		if lastCum != count {
 			t.Errorf("%s: +Inf bucket %v != count %v", family, lastCum, count)
 		}
+	}
+
+	// The registry-lifecycle seconds histograms: typed histogram, bounds
+	// rendered in seconds (the first le is well under a second), and the
+	// recorded durations land in _sum at seconds scale.
+	wantSum := map[string]float64{
+		"pulphd_registry_wal_fsync_seconds": 500e-6,
+		"pulphd_registry_faultin_seconds":   2e-3,
+	}
+	for family, recorded := range wantSum {
+		if types[family] != "histogram" {
+			t.Errorf("%s: TYPE %q, want histogram", family, types[family])
+		}
+		var sum, count float64
+		firstLE := -1.0
+		for _, s := range byName[family] {
+			switch s.name {
+			case family + "_sum":
+				sum = s.value
+			case family + "_count":
+				count = s.value
+			case family + "_bucket":
+				if firstLE < 0 && s.labels["le"] != "+Inf" {
+					b, err := strconv.ParseFloat(s.labels["le"], 64)
+					if err != nil {
+						t.Fatalf("%s: bad le %q", family, s.labels["le"])
+					}
+					firstLE = b
+				}
+			}
+		}
+		if count != 1 {
+			t.Errorf("%s: count %v, want 1", family, count)
+		}
+		if sum < recorded*0.999 || sum > recorded*1.001 {
+			t.Errorf("%s: sum %v, want ~%v (seconds scale)", family, sum, recorded)
+		}
+		if firstLE <= 0 || firstLE >= 1 {
+			t.Errorf("%s: first le %v, want a sub-second bound", family, firstLE)
+		}
+	}
+
+	// The scrape-time gauge-vec-func family renders labeled cells, with
+	// hostile label values escaped and recovered.
+	cells := map[string]float64{}
+	for _, s := range byName["pulphd_model_slo_test_milli"] {
+		cells[s.labels["model"]] = s.value
+	}
+	if types["pulphd_model_slo_test_milli"] != "gauge" {
+		t.Errorf("gauge-vec-func TYPE %q, want gauge", types["pulphd_model_slo_test_milli"])
+	}
+	if cells[hostile] != 1500 || cells["emg"] != 250 {
+		t.Errorf("gauge-vec-func cells %+v", cells)
 	}
 
 	// HELP escaping round-trips through the parser (registry HELP text

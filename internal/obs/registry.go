@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -14,14 +15,16 @@ import (
 // time (it takes a lock and may allocate); reads happen on the export
 // path only, so instrumented hot paths never touch the registry.
 type Registry struct {
-	mu         sync.Mutex
-	counters   []namedCounter
-	gauges     []namedGauge
-	gaugeFuncs []namedGaugeFunc
-	vecs       []namedCounterVec
-	gaugeVecs  []namedGaugeVec
-	hists      []namedHistogram
-	names      map[string]bool
+	mu            sync.Mutex
+	counters      []namedCounter
+	gauges        []namedGauge
+	gaugeFuncs    []namedGaugeFunc
+	vecs          []namedCounterVec
+	gaugeVecs     []namedGaugeVec
+	gaugeVecFuncs []namedGaugeVecFunc
+	hists         []namedHistogram
+	secondsHists  []namedHistogram
+	names         map[string]bool
 }
 
 type namedCounter struct {
@@ -52,6 +55,11 @@ type namedGaugeVec struct {
 type namedHistogram struct {
 	name, help string
 	h          *Histogram
+}
+
+type namedGaugeVecFunc struct {
+	name, help, label string
+	fn                func() []GaugeCell
 }
 
 // escapeHelp escapes a HELP string for the Prometheus text exposition
@@ -123,6 +131,17 @@ func (r *Registry) RegisterGaugeVec(name, help string, v *GaugeVec) {
 	r.gaugeVecs = append(r.gaugeVecs, namedGaugeVec{name, help, v})
 }
 
+// RegisterGaugeVecFunc exposes a labelled gauge family computed at
+// scrape time — the hook the SLO engine's burn-rate families hang on.
+// fn must be safe for concurrent calls; cells carry int64 values, so
+// ratios are exported in milli/permille encodings.
+func (r *Registry) RegisterGaugeVecFunc(name, help, label string, fn func() []GaugeCell) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	r.gaugeVecFuncs = append(r.gaugeVecFuncs, namedGaugeVecFunc{name, help, label, fn})
+}
+
 // RegisterHistogram exposes h under name; bucket bounds are exported
 // in nanoseconds (suffix the name _ns to keep the unit visible).
 func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
@@ -130,6 +149,17 @@ func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
 	defer r.mu.Unlock()
 	r.claim(name)
 	r.hists = append(r.hists, namedHistogram{name, help, h})
+}
+
+// RegisterSecondsHistogram exposes h — which observes durations in
+// nanoseconds like every obs.Histogram — with bucket bounds and sum
+// scaled to seconds on export, so Prometheus-convention `_seconds`
+// names carry their conventional unit.
+func (r *Registry) RegisterSecondsHistogram(name, help string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name)
+	r.secondsHists = append(r.secondsHists, namedHistogram{name, help, h})
 }
 
 // WritePrometheus renders every registered metric in the Prometheus
@@ -200,6 +230,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 		}
 	}
+	for _, v := range r.gaugeVecFuncs {
+		if err := writeHelp(v.name, v.help); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", v.name); err != nil {
+			return err
+		}
+		for _, s := range v.fn() {
+			if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n",
+				v.name, v.label, escapeLabel(s.Value), s.Gauge); err != nil {
+				return err
+			}
+		}
+	}
 	for _, h := range r.hists {
 		if err := writeHelp(h.name, h.help); err != nil {
 			return err
@@ -220,6 +264,30 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", h.name, s.SumNs, h.name, s.Count); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.secondsHists {
+		if err := writeHelp(h.name, h.help); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.name); err != nil {
+			return err
+		}
+		s := h.h.Snapshot()
+		cum := int64(0)
+		for i, n := range s.Counts {
+			cum += n
+			le := "+Inf"
+			if b := s.BucketBound(i); b >= 0 {
+				le = strconv.FormatFloat(float64(b+1)/1e9, 'g', -1, 64)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			h.name, strconv.FormatFloat(float64(s.SumNs)/1e9, 'g', -1, 64), h.name, s.Count); err != nil {
 			return err
 		}
 	}
@@ -255,12 +323,21 @@ func (r *Registry) Snapshot() map[string]any {
 		}
 		out[v.name] = cells
 	}
-	for _, h := range r.hists {
-		s := h.h.Snapshot()
-		out[h.name] = map[string]any{
-			"count":   s.Count,
-			"sum_ns":  s.SumNs,
-			"mean_ns": s.Mean(),
+	for _, v := range r.gaugeVecFuncs {
+		cells := map[string]int64{}
+		for _, s := range v.fn() {
+			cells[s.Value] = s.Gauge
+		}
+		out[v.name] = cells
+	}
+	for _, hs := range [][]namedHistogram{r.hists, r.secondsHists} {
+		for _, h := range hs {
+			s := h.h.Snapshot()
+			out[h.name] = map[string]any{
+				"count":   s.Count,
+				"sum_ns":  s.SumNs,
+				"mean_ns": s.Mean(),
+			}
 		}
 	}
 	return out
@@ -380,6 +457,8 @@ func NewHostMetrics() *HostMetrics {
 	r.RegisterCounter("pulphd_registry_wal_replayed_records_total", "WAL records replayed onto snapshots during fault-in/recovery", &h.Models.WALReplayed)
 	r.RegisterCounter("pulphd_registry_snapshots_total", "per-model snapshot writes", &h.Models.Snapshots)
 	r.RegisterHistogram("pulphd_registry_snapshot_latency_ns", "per-model snapshot write latency in nanoseconds", &h.Models.SnapshotNanos)
+	r.RegisterSecondsHistogram("pulphd_registry_wal_fsync_seconds", "fsync latency on durable WAL appends in seconds", &h.Models.WALFsyncNanos)
+	r.RegisterSecondsHistogram("pulphd_registry_faultin_seconds", "cold-model fault-in latency (snapshot read + WAL replay) in seconds", &h.Models.FaultInNanos)
 	r.RegisterGaugeVec("pulphd_model_generation", "published model generation by model", h.Models.Generation)
 	r.RegisterGaugeVec("pulphd_model_classes", "classes in the published generation by model", h.Models.Classes)
 	r.RegisterGaugeVec("pulphd_model_resident_bytes", "resident footprint in bytes by model (0: evicted to disk)", h.Models.ModelResidentBytes)

@@ -65,6 +65,11 @@ type Span struct {
 type Spans struct {
 	// ID tags the recorder with the request id it traces.
 	ID uint64
+	// Model tags the recorder with the tenant model the request
+	// resolved to ("" when the server runs without a registry). Set it
+	// once, before any concurrent span writers start; exporters use it
+	// for per-tenant (?model=) filtering and process labels.
+	Model string
 
 	epoch   int64 // unix nanos at Reset
 	n       atomic.Int32
@@ -100,6 +105,7 @@ func (s *Spans) Reset(id uint64) {
 	s.n.Store(0)
 	s.dropped.Store(0)
 	s.ID = id
+	s.Model = ""
 	s.parent = NoSpan
 	s.epoch = s.now()
 }
@@ -323,9 +329,13 @@ func (t *Timelines) appendTraceEvents(evs []traceEvent, pid int) ([]traceEvent, 
 
 // appendSpanEvents renders one recorder as one trace process.
 func appendSpanEvents(evs []traceEvent, rec *Spans, pid int) []traceEvent {
+	name := requestProcessName(rec.ID)
+	if rec.Model != "" {
+		name += " · " + rec.Model
+	}
 	evs = append(evs, traceEvent{
 		Name: "process_name", Phase: "M", Pid: pid,
-		Args: map[string]any{"name": requestProcessName(rec.ID)},
+		Args: map[string]any{"name": name},
 	})
 	tracks := map[int32]bool{}
 	for i := 0; i < rec.Len(); i++ {
@@ -386,6 +396,33 @@ func requestProcessName(id uint64) string {
 // trace-event JSON.
 func (t *Timelines) WriteChromeTrace(w io.Writer) error {
 	return WriteChromeTrace(w, t)
+}
+
+// WriteChromeTraceModel is WriteChromeTrace restricted to requests
+// whose recorder is tagged with the given model — the ?model= filter
+// of /debug/spans. An empty model renders every held timeline.
+func (t *Timelines) WriteChromeTraceModel(w io.Writer, model string) error {
+	if model == "" {
+		return t.WriteChromeTrace(w)
+	}
+	return WriteChromeTrace(w, modelFiltered{t: t, model: model})
+}
+
+// modelFiltered is a tracePart view of a Timelines scoped to one model.
+type modelFiltered struct {
+	t     *Timelines
+	model string
+}
+
+func (f modelFiltered) appendTraceEvents(evs []traceEvent, pid int) ([]traceEvent, int) {
+	for _, rec := range f.t.snapshot() {
+		if rec.Model != f.model {
+			continue
+		}
+		evs = appendSpanEvents(evs, rec, pid)
+		pid++
+	}
+	return evs, pid
 }
 
 // appendTraceEvents makes the cycle Trace composable with request

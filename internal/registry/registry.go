@@ -225,7 +225,7 @@ func (r *Registry) adopt(name string, sv *hdc.Serving, op string) error {
 	if err != nil {
 		return err
 	}
-	r.enforceBudget(e)
+	r.enforceBudget(context.Background(), e)
 	return nil
 }
 
@@ -337,6 +337,14 @@ func (r *Registry) lookup(name string) (*entry, error) {
 // if it was evicted. The hot path — model resident — is one map read
 // under RLock and one atomic load.
 func (r *Registry) Serving(name string) (*hdc.Serving, error) {
+	return r.ServingCtx(context.Background(), name)
+}
+
+// ServingCtx is Serving with a request context: when the lookup has to
+// fault the model in, the registry.faultin/registry.recover spans land
+// on the recorder the context carries, so the stall shows up inside
+// the request's own timeline.
+func (r *Registry) ServingCtx(ctx context.Context, name string) (*hdc.Serving, error) {
 	e, err := r.lookup(name)
 	if err != nil {
 		return nil, err
@@ -346,13 +354,13 @@ func (r *Registry) Serving(name string) (*hdc.Serving, error) {
 		return sv, nil
 	}
 	e.mu.Lock()
-	sv, err := r.residentLocked(e)
+	sv, err := r.residentLocked(ctx, e)
 	e.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
 	r.touch(e)
-	r.enforceBudget(e)
+	r.enforceBudget(ctx, e)
 	return sv, nil
 }
 
@@ -372,14 +380,21 @@ func (r *Registry) Drift(name string) (*obs.DriftMonitor, error) {
 }
 
 // residentLocked ensures e's model is in memory, loading the snapshot
-// and replaying the WAL tail when it is not. Caller holds e.mu.
-func (r *Registry) residentLocked(e *entry) (*hdc.Serving, error) {
+// and replaying the WAL tail when it is not. Caller holds e.mu. The
+// whole load is wrapped in a registry.faultin span (the WAL replay in
+// a nested registry.recover span) and timed into the fault-in latency
+// histogram, because a cold model stalls the request paying for it.
+func (r *Registry) residentLocked(ctx context.Context, e *entry) (*hdc.Serving, error) {
 	if e.deleted {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, e.name)
 	}
 	if sv := e.sv.Load(); sv != nil {
 		return sv, nil
 	}
+	start := time.Now()
+	sp := obs.SpansFrom(ctx)
+	fi := sp.Start("registry.faultin", sp.Parent())
+	defer sp.End(fi)
 	f, err := os.Open(r.snapPath(e.name))
 	if err != nil {
 		return nil, fmt.Errorf("registry: model %q snapshot: %w", e.name, err)
@@ -389,8 +404,10 @@ func (r *Registry) residentLocked(e *entry) (*hdc.Serving, error) {
 	if err != nil {
 		return nil, fmt.Errorf("registry: model %q snapshot: %w", e.name, err)
 	}
+	rc := sp.Start("registry.recover", fi)
 	recs, err := ReplayWAL(r.walPath(e.name))
 	if err != nil {
+		sp.End(rc)
 		return nil, fmt.Errorf("registry: model %q: %w", e.name, err)
 	}
 	nextSeq := snapSeq
@@ -411,6 +428,8 @@ func (r *Registry) residentLocked(e *entry) (*hdc.Serving, error) {
 		replayed++
 		nextSeq = rec.Seq + 1
 	}
+	sp.Annotate(rc, "replayed", int64(replayed))
+	sp.End(rc)
 	wal, err := OpenWAL(r.walPath(e.name), nextSeq, len(recs), r.cfg.SyncWAL)
 	if err != nil {
 		return nil, err
@@ -420,9 +439,10 @@ func (r *Registry) residentLocked(e *entry) (*hdc.Serving, error) {
 	e.generation = sv.Generation()
 	e.classes = sv.Classes()
 	e.walRecords = len(recs)
+	sp.Annotate(fi, "generation", int64(e.generation))
 	m := r.m()
 	m.RecordOp(e.name, "fault_in")
-	m.RecordFaultIn(replayed)
+	m.RecordFaultIn(replayed, time.Since(start))
 	m.RecordModelState(e.name, e.generation, e.classes, sv.ResidentBytes(), e.walRecords)
 	r.recordFleet()
 	return sv, nil
@@ -462,12 +482,12 @@ func (r *Registry) apply(ctx context.Context, name string, op Op, label string, 
 	err = r.applyLocked(ctx, e, op, label, window)
 	e.mu.Unlock()
 	r.touch(e)
-	r.enforceBudget(e)
+	r.enforceBudget(ctx, e)
 	return err
 }
 
 func (r *Registry) applyLocked(ctx context.Context, e *entry, op Op, label string, window [][]float64) error {
-	sv, err := r.residentLocked(e)
+	sv, err := r.residentLocked(ctx, e)
 	if err != nil {
 		return err
 	}
@@ -489,10 +509,14 @@ func (r *Registry) applyLocked(ctx context.Context, e *entry, op Op, label strin
 		m.RecordRollingAccuracy(e.name, e.drift.RollingAccuracyPermille())
 	}
 	if e.wal != nil {
-		if err := e.wal.Append(op, label, window); err != nil {
+		fsync, err := e.wal.AppendCtx(ctx, op, label, window)
+		if err != nil {
 			return err
 		}
 		m.RecordWALAppend()
+		if r.cfg.SyncWAL {
+			m.RecordWALFsync(fsync)
+		}
 		e.walRecords = e.wal.Records()
 	}
 	learnErr := sv.LearnCtx(ctx, label, window)
@@ -501,7 +525,7 @@ func (r *Registry) applyLocked(ctx context.Context, e *entry, op Op, label strin
 	m.RecordOp(e.name, op.String())
 	m.RecordModelState(e.name, e.generation, e.classes, sv.ResidentBytes(), e.walRecords)
 	if e.wal != nil && e.wal.Records() >= r.cfg.SnapshotEvery {
-		if err := r.snapshotLocked(e); err != nil {
+		if err := r.snapshotLocked(ctx, e); err != nil {
 			return err
 		}
 	}
@@ -521,14 +545,22 @@ func (r *Registry) Snapshot(name string) error {
 	if e.deleted || !r.Persistent() || e.sv.Load() == nil {
 		return nil
 	}
-	return r.snapshotLocked(e)
+	return r.snapshotLocked(context.Background(), e)
 }
 
 // snapshotLocked cuts e's snapshot and truncates its WAL. Caller holds
-// e.mu; the model is resident and the registry persistent.
-func (r *Registry) snapshotLocked(e *entry) error {
+// e.mu; the model is resident and the registry persistent. The write
+// lands as a registry.snapshot span on any recorder ctx carries — an
+// auto-snapshot happens inside the learn that tripped the cadence, so
+// the stall belongs to that request's timeline.
+func (r *Registry) snapshotLocked(ctx context.Context, e *entry) error {
 	start := time.Now()
 	sv := e.sv.Load()
+	sp := obs.SpansFrom(ctx)
+	id := sp.Start("registry.snapshot", sp.Parent())
+	sp.Annotate(id, "generation", int64(sv.Generation()))
+	sp.Annotate(id, "wal_records", int64(e.walRecords))
+	defer sp.End(id)
 	if err := r.writeSnapshot(e.name, sv, e.wal.NextSeq()); err != nil {
 		return err
 	}
@@ -577,12 +609,13 @@ func (r *Registry) writeSnapshot(name string, sv *hdc.Serving, walSeq uint64) er
 // summed resident bytes fit the budget. Eviction also runs
 // automatically after create, fault-in and learn; this is the
 // explicit trigger for tests and admin use.
-func (r *Registry) EnforceBudget() { r.enforceBudget(nil) }
+func (r *Registry) EnforceBudget() { r.enforceBudget(context.Background(), nil) }
 
 // enforceBudget evicts LRU resident models until resident bytes fit
 // the budget, never evicting keep (the entry that just served —
-// evicting it would thrash).
-func (r *Registry) enforceBudget(keep *entry) {
+// evicting it would thrash). Evictions triggered by a request land as
+// registry.evict spans on the recorder ctx carries.
+func (r *Registry) enforceBudget(ctx context.Context, keep *entry) {
 	if !r.Persistent() || r.cfg.ResidentBudget <= 0 {
 		return
 	}
@@ -595,7 +628,7 @@ func (r *Registry) enforceBudget(keep *entry) {
 		// Re-check under the entry lock: the model may have been deleted
 		// or already evicted while we were choosing it.
 		if !victim.deleted && victim.sv.Load() != nil {
-			if err := r.evictLocked(victim); err != nil {
+			if err := r.evictLocked(ctx, victim); err != nil {
 				victim.mu.Unlock()
 				return
 			}
@@ -630,8 +663,13 @@ func (r *Registry) pickVictim(keep *entry) (*entry, int64) {
 
 // evictLocked snapshots e (folding its WAL in) and drops its resident
 // state. Caller holds e.mu; the model is resident.
-func (r *Registry) evictLocked(e *entry) error {
-	if err := r.snapshotLocked(e); err != nil {
+func (r *Registry) evictLocked(ctx context.Context, e *entry) error {
+	sp := obs.SpansFrom(ctx)
+	id := sp.Start("registry.evict", sp.Parent())
+	sv0 := e.sv.Load()
+	sp.Annotate(id, "bytes", int64(sv0.ResidentBytes()))
+	defer sp.End(id)
+	if err := r.snapshotLocked(ctx, e); err != nil {
 		return err
 	}
 	e.wal.Close()
@@ -741,7 +779,7 @@ func (r *Registry) Close() error {
 	for _, e := range entries {
 		e.mu.Lock()
 		if !e.deleted && e.sv.Load() != nil && r.Persistent() {
-			if err := r.snapshotLocked(e); err != nil && first == nil {
+			if err := r.snapshotLocked(context.Background(), e); err != nil && first == nil {
 				first = err
 			}
 		}

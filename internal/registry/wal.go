@@ -1,11 +1,15 @@
 package registry
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"math"
 	"os"
+	"time"
+
+	"pulphd/internal/obs"
 )
 
 // This file is the write-ahead log of the model registry. Every online
@@ -217,19 +221,41 @@ func OpenWAL(path string, nextSeq uint64, records int, sync bool) (*WAL, error) 
 // Append replays it, so the caller must Append before applying the
 // learn it acknowledges.
 func (w *WAL) Append(op Op, label string, window [][]float64) error {
+	_, err := w.AppendCtx(context.Background(), op, label, window)
+	return err
+}
+
+// AppendCtx is Append with a request context: a wal.append span wraps
+// the frame-and-write, a nested wal.fsync span times the fsync in sync
+// mode, and the fsync duration comes back (0 when sync is off) so the
+// registry can feed its latency histogram.
+func (w *WAL) AppendCtx(ctx context.Context, op Op, label string, window [][]float64) (time.Duration, error) {
 	rec := Record{Seq: w.seq, Op: op, Label: label, Window: window}
+	sp := obs.SpansFrom(ctx)
+	ap := sp.Start("wal.append", sp.Parent())
+	sp.Annotate(ap, "seq", int64(w.seq))
 	w.buf = AppendRecord(w.buf[:0], rec)
+	sp.Annotate(ap, "bytes", int64(len(w.buf)))
 	if _, err := w.f.Write(w.buf); err != nil {
-		return fmt.Errorf("registry: appending wal record: %w", err)
+		sp.End(ap)
+		return 0, fmt.Errorf("registry: appending wal record: %w", err)
 	}
+	var fsync time.Duration
 	if w.sync {
-		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("registry: syncing wal: %w", err)
+		fs := sp.Start("wal.fsync", ap)
+		start := time.Now()
+		err := w.f.Sync()
+		fsync = time.Since(start)
+		sp.End(fs)
+		if err != nil {
+			sp.End(ap)
+			return fsync, fmt.Errorf("registry: syncing wal: %w", err)
 		}
 	}
+	sp.End(ap)
 	w.seq++
 	w.records++
-	return nil
+	return fsync, nil
 }
 
 // Records returns how many records the log currently holds.

@@ -232,3 +232,86 @@ status=0
 wait "$SERVE_PID" || status=$?
 [ "$status" = 0 ] || regfail "restarted server exited $status on SIGTERM, want 0"
 echo "smoke: restart recovery ok (models back at exact generations)"
+
+# Tail observability: boot with the flight recorder and SLO engine on a
+# fresh state directory and a 1 ns predict deadline. Every predict
+# 504s, so the flight ring must hold the timeout timelines, the SLO
+# endpoint must show the burn, the sustained failure must latch a
+# breach that auto-dumps a trace under <state-dir>/flight/, and the
+# per-model SLO gauge families must reach /metrics.
+SLOSTATE="$TMP/state-slo"
+"$TMP/pulphd" serve -metrics-addr "$ADDR" -demo=false -state-dir "$SLOSTATE" \
+  -predict-timeout 1ns -flight 64 -slo-latency 50ms -slo-error-budget 0.01 \
+  -log-level debug -log-format json >"$TMP/serve-slo.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+  if "${CURL[@]}" -sf "$BASE/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$TMP/serve-slo.log" >&2; fail "SLO server died during startup"; }
+  [ "$i" = 50 ] && fail "SLO server /healthz never came up"
+  sleep 0.2
+done
+
+slofail() {
+  echo "smoke: $*" >&2
+  echo "--- SLO server log ---" >&2
+  cat "$TMP/serve-slo.log" >&2 || true
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+}
+
+# Teach the default model first: an untrained model answers 409, which
+# by design carries no SLO cost and pins no flight capture.
+"${CURL[@]}" -sf -o /dev/null -X POST -d '{"label":"rest","window":[[1,2,3,4]]}' "$BASE/learn" \
+  || slofail "POST /learn on SLO server failed"
+
+# Drive past MinEvents (10) failing predicts across two breach-check
+# windows (CheckEvery 1 s) so the burn-rate evaluation fires.
+for i in $(seq 1 12); do
+  code=$("${CURL[@]}" -s -o /dev/null -w '%{http_code}' -X POST \
+    -d '{"window":[[1,2,3,4]]}' "$BASE/predict")
+  [ "$code" = 504 ] || slofail "/predict under 1ns deadline returned $code, want 504"
+done
+sleep 1.2
+for i in $(seq 1 4); do
+  "${CURL[@]}" -s -o /dev/null -X POST -d '{"window":[[1,2,3,4]]}' "$BASE/predict"
+done
+
+# The per-tenant SLO endpoint reports the burn and the latched breach.
+fetch /models/default/slo
+grep -q '"model":"default"' "$TMP/body" || slofail "/models/default/slo lacks the model name"
+grep -q '"breached":true' "$TMP/body" || slofail "sustained 504s did not latch an SLO breach"
+grep -q '"latency_ms":50' "$TMP/body" || slofail "/models/default/slo lacks the objective"
+
+# The flight recorder holds the 504s as complete timelines.
+fetch '/debug/flight?summary=1&model=default'
+grep -q '"trigger":"timeout"' "$TMP/body" || slofail "flight summary lacks a timeout capture"
+fetch '/debug/flight?model=default'
+grep -q '"queue.wait"' "$TMP/body" || slofail "flight trace lacks the queue.wait span"
+grep -q 'default@' "$TMP/body" || slofail "flight trace process label lacks model@generation"
+
+# The breach auto-dumped a forensic trace next to the WAL.
+ls "$SLOSTATE"/flight/breach-*.json >/dev/null 2>&1 \
+  || slofail "breach did not auto-dump a flight trace under state-dir/flight/"
+grep -q 'traceEvents' "$SLOSTATE"/flight/breach-*.json \
+  || slofail "breach dump is not a Chrome trace"
+
+# The SLO gauge families reach the Prometheus surface.
+fetch /metrics
+grep -q '^pulphd_model_slo_burn_fast_milli{model="default"}' "$TMP/body" \
+  || slofail "/metrics lacks the per-model SLO burn gauge"
+grep -Eq '^pulphd_model_slo_breaches_total\{model="default"\} [1-9]' "$TMP/body" \
+  || slofail "/metrics breach counter did not move"
+
+# Keep the breach dumps as CI artifacts when the caller asks for them.
+if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$SMOKE_ARTIFACT_DIR"
+  cp "$SLOSTATE"/flight/breach-*.json "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+fi
+
+kill -TERM "$SERVE_PID"
+status=0
+wait "$SERVE_PID" || status=$?
+[ "$status" = 0 ] || slofail "SLO server exited $status on SIGTERM, want 0"
+echo "smoke: SLO breach + flight forensics ok (burn latched, dump on disk)"

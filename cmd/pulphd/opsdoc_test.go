@@ -1,0 +1,98 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"pulphd/internal/obs"
+	sloeng "pulphd/internal/obs/slo"
+	modreg "pulphd/internal/registry"
+	"pulphd/internal/replica"
+)
+
+// TestOperationsDocCoverage enforces the operator's handbook: every
+// serve flag and every exported pulphd_* metric family must appear in
+// docs/OPERATIONS.md. A flag or metric added without documentation
+// fails here, so the handbook cannot silently rot.
+func TestOperationsDocCoverage(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("operator's handbook missing: %v", err)
+	}
+	doc := string(raw)
+
+	// Every serve flag, straight from the flag set runServe parses.
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	newServeFlags(fs)
+	var missing []string
+	fs.VisitAll(func(f *flag.Flag) {
+		if !strings.Contains(doc, "`-"+f.Name+"`") {
+			missing = append(missing, "-"+f.Name)
+		}
+	})
+	if len(missing) > 0 {
+		t.Errorf("serve flags undocumented in docs/OPERATIONS.md: %v", missing)
+	}
+
+	// Every metric family any role can export: host + runtime + SLO
+	// engine + replica syncer + front, all in one registry (the
+	// registry panics on duplicate names, which also proves the
+	// families are disjoint).
+	h := obs.NewHostMetrics()
+	obs.RegisterRuntimeMetrics(h.Registry)
+	sloeng.New(sloeng.Config{}).RegisterMetrics(h.Registry)
+	reg, err := modreg.Open(modreg.Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	syncer, err := replica.NewSyncer(replica.SyncConfig{
+		Primary: "http://primary.invalid", Registry: reg, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncer.RegisterMetrics(h.Registry)
+	front, err := replica.NewFront(replica.FrontConfig{
+		Primary: "http://primary.invalid", Replicas: []string{"http://replica.invalid"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front.RegisterMetrics(h.Registry)
+
+	missing = missing[:0]
+	for _, name := range h.Registry.Names() {
+		if !strings.Contains(doc, "`"+name+"`") {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("metric families undocumented in docs/OPERATIONS.md (%d): %v", len(missing), missing)
+	}
+}
+
+// TestOperationsDocEndpoints spot-checks that the endpoint catalog
+// names the routes the binary actually registers, including the
+// replication surface.
+func TestOperationsDocEndpoints(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	for _, ep := range []string{
+		"/predict", "/learn", "/healthz", "/readyz", "/models",
+		"/metrics", "/debug/flight", "/debug/spans",
+		"/replica/v1/models", "/replica/v1/models/{name}/snapshot",
+		"min_generation", "ifnewer",
+	} {
+		if !strings.Contains(doc, ep) {
+			t.Errorf("endpoint %s missing from docs/OPERATIONS.md", ep)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	sloeng "pulphd/internal/obs/slo"
 	"pulphd/internal/parallel"
 	modreg "pulphd/internal/registry"
+	"pulphd/internal/replica"
 	"pulphd/internal/stream"
 )
 
@@ -144,13 +145,30 @@ func newServingModel(prepared *experiments.Prepared, backend hdc.Backend, shards
 	return cls.Serving(shards), nil
 }
 
-func runServe(args []string) int {
-	fs := flag.NewFlagSet("pulphd serve", flag.ExitOnError)
-	addr := fs.String("metrics-addr", "localhost:8099", "listen `address` for /predict, /learn, /metrics, /debug/vars and /debug/pprof")
-	demo := fs.Bool("demo", true, "train the served model on a synthetic EMG subject and continuously replay its session so the metrics move")
-	workers := fs.Int("workers", 4, "worker-pool size for sharded predicts and the demo workload")
-	seed := fs.Int64("seed", 2018, "dataset generation seed")
-	shards := fs.Int("shards", 4, "associative-memory shard count for /predict fan-out")
+// serveFlags is the full `pulphd serve` flag surface, registered in
+// one place so the operations handbook's coverage test can enumerate
+// it with fs.VisitAll and diff it against docs/OPERATIONS.md.
+type serveFlags struct {
+	addr, logLevel, logFormat, imBackend, stateDir, defaultModel *string
+	role, peers, primary                                         *string
+	demo, walSync                                                *bool
+	workers, shards, queueDepth, maxBatch                        *int
+	traceRequests, flightKeep, predictRetries, chaosShard        *int
+	snapshotEvery                                                *int
+	seed, residentBudget                                         *int64
+	grace, predictTimeout, retryBackoff, sloLatency              *time.Duration
+	syncInterval                                                 *time.Duration
+	sloTarget, sloBudget, sloBurn                                *float64
+}
+
+// newServeFlags registers every serve flag on fs.
+func newServeFlags(fs *flag.FlagSet) *serveFlags {
+	sf := &serveFlags{}
+	sf.addr = fs.String("metrics-addr", "localhost:8099", "listen `address` for /predict, /learn, /metrics, /debug/vars and /debug/pprof")
+	sf.demo = fs.Bool("demo", true, "train the served model on a synthetic EMG subject and continuously replay its session so the metrics move")
+	sf.workers = fs.Int("workers", 4, "worker-pool size for sharded predicts and the demo workload")
+	sf.seed = fs.Int64("seed", 2018, "dataset generation seed")
+	sf.shards = fs.Int("shards", 4, "associative-memory shard count for /predict fan-out")
 	// The queue-depth/max-batch defaults are pinned from hdload sweeps
 	// at the measured saturation knee (scripts/loadsweep.sh, see
 	// benchmarks/README.md): at knee-rate load, 128/32 roughly halves
@@ -158,27 +176,44 @@ func runServe(args []string) int {
 	// overload it sheds fewer requests at equal tail latency. Shallower
 	// queues with small batches are fragile — the dispatcher drains too
 	// slowly and arrival bursts turn into sheds or multi-second waits.
-	queueDepth := fs.Int("queue-depth", 128, "predict queue bound; further requests get 429")
-	maxBatch := fs.Int("max-batch", 32, "most predict requests classified in one dispatcher batch")
-	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error (debug logs every request with its id)")
-	logFormat := fs.String("log-format", "text", "structured log format: text or json")
-	traceRequests := fs.Int("trace-requests", 32, "request span timelines retained for /debug/spans; 0 disables request tracing")
-	flightKeep := fs.Int("flight", 128, "tail-event timelines the always-on flight recorder retains for /debug/flight (timeouts, errors, sheds, retries, degraded scans, over-SLO requests); 0 disables")
-	sloLatency := fs.Duration("slo-latency", 50*time.Millisecond, "default per-model SLO latency objective; requests slower than this count against the latency target and trip the flight recorder's slow trigger (0 disables the SLO engine)")
-	sloTarget := fs.Float64("slo-latency-target", 0.99, "fraction of requests that must meet the latency objective")
-	sloBudget := fs.Float64("slo-error-budget", 0.01, "fraction of requests allowed to fail before the error burn rate rises")
-	sloBurn := fs.Float64("slo-burn", 2, "burn-rate threshold; both the 5m and 1h windows above it is an SLO breach (fires the flight auto-dump)")
-	grace := fs.Duration("shutdown-grace", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
-	predictTimeout := fs.Duration("predict-timeout", 0, "per-request /predict deadline; expired requests get 504 (0 disables)")
-	predictRetries := fs.Int("predict-retries", 2, "bounded retries after a recovered predict panic before answering 500")
-	retryBackoff := fs.Duration("retry-backoff", 2*time.Millisecond, "initial backoff between predict retries, doubling per attempt")
-	chaosShard := fs.Int("chaos-shard", -1, "fault injection: panic every sharded scan of this AM shard index, exercising the degraded flat-scan fallback (-1 disables)")
-	imBackend := fs.String("im-backend", "stored", "item-memory backend for the served model: stored or remat")
-	stateDir := fs.String("state-dir", "", "model-registry state `directory` (snapshots + write-ahead logs); restarts recover every model from it. Empty: models live in memory only")
-	residentBudget := fs.Int64("resident-budget", 0, "resident-bytes budget across registry models; past it, least-recently-used models evict to disk and fault back in on demand (0: unlimited; needs -state-dir)")
-	walSync := fs.Bool("wal-sync", false, "fsync every write-ahead-log append: per-learn durability against power loss at a large latency cost (kill -9 loses nothing either way)")
-	snapshotEvery := fs.Int("snapshot-every", modreg.DefaultSnapshotEvery, "write-ahead-log records per model before an automatic snapshot folds them in and truncates the log")
-	defaultModel := fs.String("default-model", "default", "registry model `name` the legacy /predict and /learn routes serve")
+	sf.queueDepth = fs.Int("queue-depth", 128, "predict queue bound; further requests get 429")
+	sf.maxBatch = fs.Int("max-batch", 32, "most predict requests classified in one dispatcher batch")
+	sf.logLevel = fs.String("log-level", "info", "structured log level: debug, info, warn or error (debug logs every request with its id)")
+	sf.logFormat = fs.String("log-format", "text", "structured log format: text or json")
+	sf.traceRequests = fs.Int("trace-requests", 32, "request span timelines retained for /debug/spans; 0 disables request tracing")
+	sf.flightKeep = fs.Int("flight", 128, "tail-event timelines the always-on flight recorder retains for /debug/flight (timeouts, errors, sheds, retries, degraded scans, over-SLO requests); 0 disables")
+	sf.sloLatency = fs.Duration("slo-latency", 50*time.Millisecond, "default per-model SLO latency objective; requests slower than this count against the latency target and trip the flight recorder's slow trigger (0 disables the SLO engine)")
+	sf.sloTarget = fs.Float64("slo-latency-target", 0.99, "fraction of requests that must meet the latency objective")
+	sf.sloBudget = fs.Float64("slo-error-budget", 0.01, "fraction of requests allowed to fail before the error burn rate rises")
+	sf.sloBurn = fs.Float64("slo-burn", 2, "burn-rate threshold; both the 5m and 1h windows above it is an SLO breach (fires the flight auto-dump)")
+	sf.grace = fs.Duration("shutdown-grace", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
+	sf.predictTimeout = fs.Duration("predict-timeout", 0, "per-request /predict deadline; expired requests get 504 (0 disables)")
+	sf.predictRetries = fs.Int("predict-retries", 2, "bounded retries after a recovered predict panic before answering 500")
+	sf.retryBackoff = fs.Duration("retry-backoff", 2*time.Millisecond, "initial backoff between predict retries, doubling per attempt")
+	sf.chaosShard = fs.Int("chaos-shard", -1, "fault injection: panic every sharded scan of this AM shard index, exercising the degraded flat-scan fallback (-1 disables)")
+	sf.imBackend = fs.String("im-backend", "stored", "item-memory backend for the served model: stored or remat")
+	sf.stateDir = fs.String("state-dir", "", "model-registry state `directory` (snapshots + write-ahead logs); restarts recover every model from it. Empty: models live in memory only")
+	sf.residentBudget = fs.Int64("resident-budget", 0, "resident-bytes budget across registry models; past it, least-recently-used models evict to disk and fault back in on demand (0: unlimited; needs -state-dir)")
+	sf.walSync = fs.Bool("wal-sync", false, "fsync every write-ahead-log append: per-learn durability against power loss at a large latency cost (kill -9 loses nothing either way)")
+	sf.snapshotEvery = fs.Int("snapshot-every", modreg.DefaultSnapshotEvery, "write-ahead-log records per model before an automatic snapshot folds them in and truncates the log")
+	sf.defaultModel = fs.String("default-model", "default", "registry model `name` the legacy /predict and /learn routes serve")
+	sf.role = fs.String("role", "", "replication role: empty/primary serves and exports generations, replica pulls generations from -peers and serves read-only, front consistent-hashes predicts across -peers replicas and forwards writes to -primary")
+	sf.peers = fs.String("peers", "", "comma-separated peer base `URLs`: the primary's URL for -role=replica, the replica URLs for -role=front")
+	sf.primary = fs.String("primary", "", "primary base `URL` a front forwards learns and admin requests to (-role=front only)")
+	sf.syncInterval = fs.Duration("sync-interval", time.Second, "replication cadence: replica sync-cycle gap, and the front's replica health/generation probe gap")
+	return sf
+}
+
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("pulphd serve", flag.ExitOnError)
+	sf := newServeFlags(fs)
+	addr, demo, workers, seed, shards := sf.addr, sf.demo, sf.workers, sf.seed, sf.shards
+	queueDepth, maxBatch, logLevel, logFormat := sf.queueDepth, sf.maxBatch, sf.logLevel, sf.logFormat
+	traceRequests, flightKeep := sf.traceRequests, sf.flightKeep
+	sloLatency, sloTarget, sloBudget, sloBurn := sf.sloLatency, sf.sloTarget, sf.sloBudget, sf.sloBurn
+	grace, predictTimeout, predictRetries, retryBackoff := sf.grace, sf.predictTimeout, sf.predictRetries, sf.retryBackoff
+	chaosShard, imBackend, stateDir, residentBudget := sf.chaosShard, sf.imBackend, sf.stateDir, sf.residentBudget
+	walSync, snapshotEvery, defaultModel := sf.walSync, sf.snapshotEvery, sf.defaultModel
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pulphd serve [-metrics-addr host:port] [-shards n] [-queue-depth n] [-max-batch n] [-log-level l] [-trace-requests n]\n\n")
 		fmt.Fprintf(os.Stderr, "Serves online-learning models over HTTP. The legacy single-model routes\n")
@@ -201,6 +236,13 @@ func runServe(args []string) int {
 		fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
 		return 2
 	}
+	role := *sf.role
+	switch role {
+	case "", "primary", "replica", "front":
+	default:
+		fmt.Fprintf(os.Stderr, "pulphd serve: unknown -role %q (want primary, replica or front)\n", role)
+		return 2
+	}
 	backend, err := hdc.ParseBackend(*imBackend)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
@@ -209,6 +251,28 @@ func runServe(args []string) int {
 	h := enableHostMetrics()
 	obs.RegisterRuntimeMetrics(h.Registry)
 	mux := newMetricsMux(h)
+	if role == "front" {
+		return runFront(sf, logger, h, mux)
+	}
+	var syncPrimary string
+	if role == "replica" {
+		peers := splitPeers(*sf.peers)
+		if len(peers) != 1 {
+			fmt.Fprintf(os.Stderr, "pulphd serve: -role=replica needs -peers with exactly one primary URL\n")
+			return 2
+		}
+		if *stateDir != "" {
+			fmt.Fprintf(os.Stderr, "pulphd serve: replicas are ephemeral (the primary owns durability); drop -state-dir\n")
+			return 2
+		}
+		syncPrimary = peers[0]
+		if *demo {
+			// A replica's models come from the primary; locally trained
+			// demo state would be overwritten by the first sync cycle.
+			*demo = false
+			logger.Info("replica role: demo workload disabled; models sync from the primary", "primary", syncPrimary)
+		}
+	}
 
 	var prepared *experiments.Prepared
 	if *demo {
@@ -326,7 +390,29 @@ func runServe(args []string) int {
 		})
 		defer hdc.SetShardChaos(nil)
 	}
+	api.readOnly = role == "replica"
 	api.register(mux)
+	// The generation-export endpoints mount on every registry-backed
+	// role: primaries feed replicas, and a replica re-exporting lets
+	// topologies chain (replica-of-replica) without a flag.
+	replica.NewHandler(reg).Register(mux)
+	var syncer *replica.Syncer
+	if role == "replica" {
+		syncer, err = replica.NewSyncer(replica.SyncConfig{
+			Primary:   syncPrimary,
+			Registry:  reg,
+			Shards:    *shards,
+			Interval:  *sf.syncInterval,
+			Timelines: api.timelines,
+			Flight:    api.flight,
+			Log:       logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pulphd serve: %v\n", err)
+			return 2
+		}
+		syncer.RegisterMetrics(h.Registry)
+	}
 	api.start()
 	defer api.stop()
 
@@ -348,6 +434,9 @@ func runServe(args []string) int {
 	// under the Shutdown deadline, and only then stop the dispatcher.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	if syncer != nil {
+		go syncer.Run(ctx)
+	}
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

@@ -10,6 +10,7 @@ import (
 	"math"
 	"net/http"
 	"runtime/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -72,6 +73,9 @@ type learnResponse struct {
 // errNoModel is returned for predicts against a model with no classes
 // (nothing learned yet).
 var errNoModel = errors.New("model has no classes yet; POST /learn first")
+
+// errReadOnly refuses mutating routes on a replica.
+var errReadOnly = errors.New("replica is read-only; send learns and model admin to the front or the primary")
 
 // errPredictPanic marks a predict that kept panicking after the
 // bounded retries — answered 500, never a process crash.
@@ -220,6 +224,11 @@ type apiServer struct {
 	// Both optional, set before start(), and nil-safe throughout.
 	slo    *sloeng.Engine
 	flight *flight.Ring
+
+	// readOnly refuses every mutating route with 403 — the replica
+	// role: model state arrives only through the sync loop, so a learn
+	// accepted here would be silently overwritten by the next cycle.
+	readOnly bool
 
 	// nextID tags every request with a process-unique id (log lines
 	// and span timelines correlate on it). draining flips once at
@@ -632,12 +641,16 @@ func (s *apiServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // (something learned) or a snapshot that already holds classes — and
 // flips back to 503 while draining, so load balancers stop routing
 // before shutdown completes.
-func (s *apiServer) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+func (s *apiServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
 	}
 	if s.reg != nil {
+		if name := r.URL.Query().Get("model"); name != "" {
+			s.handleModelReadyz(w, r, name)
+			return
+		}
 		s.handleRegistryReadyz(w)
 		return
 	}
@@ -651,6 +664,41 @@ func (s *apiServer) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		"status":     "ready",
 		"generation": gen,
 		"classes":    classes,
+	})
+}
+
+// handleModelReadyz gates readiness on one model reaching a minimum
+// generation: GET /readyz?model=NAME&min_generation=G answers 200
+// only once NAME is ready to classify AND its generation is ≥ G —
+// how a front (or an operator's curl loop) waits for an acknowledged
+// learn to land on a replica before routing the session there.
+func (s *apiServer) handleModelReadyz(w http.ResponseWriter, r *http.Request, name string) {
+	var minGen uint64
+	if g := r.URL.Query().Get("min_generation"); g != "" {
+		var err error
+		if minGen, err = strconv.ParseUint(g, 10, 64); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad min_generation: %w", err))
+			return
+		}
+	}
+	info, err := s.reg.ModelInfo(name)
+	if err != nil {
+		httpError(w, registryErrCode(err, http.StatusInternalServerError), err)
+		return
+	}
+	ready := (info.Generation > 0 || info.Classes > 0) && info.Generation >= minGen
+	status, code := "ready", http.StatusOK
+	if !ready {
+		status, code = "not ready", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         status,
+		"model":          name,
+		"generation":     info.Generation,
+		"min_generation": minGen,
+		"ready":          ready,
 	})
 }
 
@@ -750,6 +798,10 @@ type sloObjectiveRequest struct {
 func (s *apiServer) handleModelSLOSet(w http.ResponseWriter, r *http.Request) {
 	if s.slo == nil {
 		httpError(w, http.StatusNotFound, errors.New("SLO engine disabled; serve with -slo-latency > 0"))
+		return
+	}
+	if s.readOnly {
+		httpError(w, http.StatusForbidden, errReadOnly)
 		return
 	}
 	name := r.PathValue("model")
@@ -962,6 +1014,11 @@ func (s *apiServer) handleLearn(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, errors.New("server draining"))
 		return
 	}
+	if s.readOnly {
+		s.m.RecordRequest(false)
+		httpError(w, http.StatusForbidden, errReadOnly)
+		return
+	}
 	id := s.nextID.Add(1)
 	start := time.Now()
 	// The learn recorder is single-owner (no dispatcher side): acquired
@@ -1092,6 +1149,10 @@ func (s *apiServer) handleModelCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, errors.New("server draining"))
 		return
 	}
+	if s.readOnly {
+		httpError(w, http.StatusForbidden, errReadOnly)
+		return
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	var req createModelRequest
@@ -1143,6 +1204,10 @@ func (s *apiServer) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 func (s *apiServer) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+	if s.readOnly {
+		httpError(w, http.StatusForbidden, errReadOnly)
 		return
 	}
 	name := r.PathValue("model")

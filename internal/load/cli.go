@@ -21,6 +21,7 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hdload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	target := fs.String("target", "http://localhost:8099", "base `URL` of the pulphd serve instance")
+	targets := fs.String("targets", "", "comma-separated base `URLs` to spread requests over round-robin (a replica set, or several fronts); reports per-target goodput and overrides -target")
 	rates := fs.String("rates", "", "open-loop sweep: comma-separated arrival `rates` per second, e.g. 250,500,1000,2000")
 	rate := fs.Float64("rate", 0, "open-loop single phase: arrivals per second (shorthand for -rates with one value)")
 	concs := fs.String("concurrencies", "", "closed-loop sweep: comma-separated worker `counts`, e.g. 1,4,16")
@@ -61,6 +62,18 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var targetList []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+			targetList = append(targetList, t)
+		}
+	}
+	if len(targetList) > 0 {
+		// Seeding and flight fetches address the first endpoint; against
+		// a front that lands on the primary anyway.
+		*target = targetList[0]
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -92,6 +105,7 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 	for _, ph := range phases {
 		opts := Options{
 			Target:      *target,
+			Targets:     targetList,
 			Rate:        ph.rate,
 			Concurrency: ph.concurrency,
 			Think:       *think,
@@ -121,6 +135,9 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stdout, "flight: %d tail events this phase, worst %.2f ms (%s)\n",
 					len(res.Flight), res.Flight[0].DurationMs, res.Flight[0].Trigger)
 			}
+		}
+		for _, tr := range res.PerTarget {
+			fmt.Fprintf(stdout, "target %s: sent %d ok %d goodput %.1f/s\n", tr.Target, tr.Sent, tr.OK, tr.GoodputRPS)
 		}
 		results = append(results, res)
 		if ctx.Err() != nil {

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,11 @@ import (
 type Options struct {
 	// Target is the server base URL, e.g. http://localhost:8099.
 	Target string
+	// Targets, when non-empty, spreads requests round-robin over
+	// several base URLs (driving a replica set directly, or several
+	// fronts) and reports per-target goodput alongside the aggregate.
+	// Target is ignored when set.
+	Targets []string
 	// Rate > 0 selects open-loop mode: arrivals per second on a fixed
 	// schedule, unbounded concurrency.
 	Rate float64
@@ -104,6 +110,18 @@ type Result struct {
 	// captured during this phase (fetched from /debug/flight after the
 	// phase; empty when the server runs without a recorder).
 	Flight []FlightEvent `json:"flight,omitempty"`
+
+	// PerTarget breaks the aggregate down by endpoint in multi-target
+	// mode (Options.Targets); empty for a single target.
+	PerTarget []TargetResult `json:"per_target,omitempty"`
+}
+
+// TargetResult is one endpoint's share of a multi-target phase.
+type TargetResult struct {
+	Target     string  `json:"target"`
+	Sent       int64   `json:"sent"`
+	OK         int64   `json:"ok"`
+	GoodputRPS float64 `json:"goodput_rps"`
 }
 
 // runner is the shared state of one phase's workers.
@@ -116,6 +134,14 @@ type runner struct {
 	learns, learnsOK                     atomic.Int64
 	hist                                 obs.HDR
 	wg                                   sync.WaitGroup
+
+	// perTarget holds one counter pair per Options.Targets entry,
+	// indexed like Targets (requests round-robin by sequence number).
+	perTarget []targetCounters
+}
+
+type targetCounters struct {
+	sent, ok atomic.Int64
 }
 
 // NewClient returns an HTTP client sized for open-loop fan-out: far
@@ -135,8 +161,11 @@ func RunPhase(ctx context.Context, opts Options) (Result, error) {
 	if opts.Traffic == nil {
 		return Result{}, fmt.Errorf("load: Options.Traffic is required")
 	}
-	if opts.Target == "" {
-		return Result{}, fmt.Errorf("load: Options.Target is required")
+	if len(opts.Targets) == 0 && opts.Target == "" {
+		return Result{}, fmt.Errorf("load: Options.Target (or Targets) is required")
+	}
+	if len(opts.Targets) == 0 {
+		opts.Targets = []string{opts.Target}
 	}
 	if (opts.Rate > 0) == (opts.Concurrency > 0) {
 		return Result{}, fmt.Errorf("load: exactly one of Rate (open loop) and Concurrency (closed loop) must be set")
@@ -147,7 +176,7 @@ func RunPhase(ctx context.Context, opts Options) (Result, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 5 * time.Second
 	}
-	r := &runner{opts: opts, client: opts.Client}
+	r := &runner{opts: opts, client: opts.Client, perTarget: make([]targetCounters, len(opts.Targets))}
 	if r.client == nil {
 		r.client = NewClient(opts.Timeout)
 	}
@@ -245,7 +274,11 @@ func (r *runner) fire(ctx context.Context, isLearn, record bool, seq int64) {
 	if r.opts.Model != "" {
 		path = "/models/" + r.opts.Model + path
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.opts.Target+path, bytes.NewReader(body))
+	ti := int(seq % int64(len(r.opts.Targets)))
+	if ti < 0 {
+		ti = 0
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.opts.Targets[ti]+path, bytes.NewReader(body))
 	if err != nil {
 		if record {
 			r.sent.Add(1)
@@ -254,6 +287,11 @@ func (r *runner) fire(ctx context.Context, isLearn, record bool, seq int64) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// A stable per-stream session key: against the front tier this is
+	// the consistent-hash affinity key, so the harness looks like many
+	// independent device streams instead of one client hashing to one
+	// replica. Plain serve instances ignore the header.
+	req.Header.Set("X-PULPHD-Session", "hdload-"+strconv.FormatInt(seq%256, 10))
 	t0 := time.Now()
 	resp, err := r.client.Do(req)
 	elapsed := time.Since(t0)
@@ -265,6 +303,7 @@ func (r *runner) fire(ctx context.Context, isLearn, record bool, seq int64) {
 		return
 	}
 	r.sent.Add(1)
+	r.perTarget[ti].sent.Add(1)
 	if isLearn {
 		r.learns.Add(1)
 	}
@@ -277,6 +316,7 @@ func (r *runner) fire(ctx context.Context, isLearn, record bool, seq int64) {
 	switch resp.StatusCode {
 	case http.StatusOK:
 		r.ok.Add(1)
+		r.perTarget[ti].ok.Add(1)
 		if isLearn {
 			r.learnsOK.Add(1)
 		} else {
@@ -323,6 +363,15 @@ func (r *runner) result() Result {
 	}
 	if res.Sent > 0 {
 		res.ErrorPct = 100 * float64(res.Sent-res.OK) / float64(res.Sent)
+	}
+	if len(r.opts.Targets) > 1 {
+		for i, t := range r.opts.Targets {
+			tr := TargetResult{Target: t, Sent: r.perTarget[i].sent.Load(), OK: r.perTarget[i].ok.Load()}
+			if res.DurationSec > 0 {
+				tr.GoodputRPS = float64(tr.OK) / res.DurationSec
+			}
+			res.PerTarget = append(res.PerTarget, tr)
+		}
 	}
 	return res
 }

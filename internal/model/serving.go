@@ -44,8 +44,16 @@ const maxAccumPlanes = 48
 // stale records all carry sequences below walSeq and are not applied
 // twice. Callers persisting a model outside a WAL pairing pass 0.
 func SaveServing(w io.Writer, sv *hdc.Serving, walSeq uint64) error {
-	st := sv.State()
-	cfg := sv.Config()
+	return SaveServingState(w, sv.Config(), sv.State(), walSeq)
+}
+
+// SaveServingState writes an already-cut serving state. Callers that
+// need to know exactly which generation went over the wire (the
+// replication exporter) take the State() cut themselves, read
+// st.Generation, and serialize the same cut here — calling SaveServing
+// directly would race a concurrent Learn between reading the
+// generation and cutting the state.
+func SaveServingState(w io.Writer, cfg hdc.Config, st hdc.ServingState, walSeq uint64) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magicV3[:]); err != nil {
 		return fmt.Errorf("model: write header: %w", err)

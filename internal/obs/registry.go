@@ -365,6 +365,11 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// Names returns every registered metric name, sorted. It exists for
+// coverage tooling — the operations-handbook test diffs this list
+// against docs/OPERATIONS.md so no metric family ships undocumented.
+func (r *Registry) Names() []string { return r.sortedNames() }
+
 // sortedNames returns every registered metric name, for tests.
 func (r *Registry) sortedNames() []string {
 	r.mu.Lock()

@@ -1,0 +1,277 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeBackend is a controllable replica or primary: it serves the
+// /readyz shape the front probes, answers predicts with its own name
+// (so tests can see who served), and answers learns with a
+// configurable generation.
+type fakeBackend struct {
+	name     string
+	gen      atomic.Uint64
+	healthy  atomic.Bool
+	predicts atomic.Int64
+	learns   atomic.Int64
+	srv      *httptest.Server
+}
+
+func newFakeBackend(t *testing.T, name string) *fakeBackend {
+	t.Helper()
+	b := &fakeBackend{name: name}
+	b.healthy.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !b.healthy.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":  "ready",
+			"default": "default",
+			"models": []map[string]any{
+				{"name": "default", "generation": b.gen.Load()},
+			},
+		})
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		b.predicts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"served_by":%q,"generation":%d}`, b.name, b.gen.Load())
+	})
+	mux.HandleFunc("POST /learn", func(w http.ResponseWriter, r *http.Request) {
+		b.learns.Add(1)
+		b.gen.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"generation":%d,"classes":1,"model":"default"}`, b.gen.Load())
+	})
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"admin_by":%q}`, b.name)
+	})
+	b.srv = httptest.NewServer(mux)
+	t.Cleanup(b.srv.Close)
+	return b
+}
+
+type frontFixture struct {
+	front    *Front
+	srv      *httptest.Server
+	primary  *fakeBackend
+	replicas []*fakeBackend
+}
+
+func newFrontFixture(t *testing.T, nReplicas int) *frontFixture {
+	t.Helper()
+	fx := &frontFixture{primary: newFakeBackend(t, "primary")}
+	urls := make([]string, nReplicas)
+	for i := 0; i < nReplicas; i++ {
+		r := newFakeBackend(t, fmt.Sprintf("replica%d", i))
+		fx.replicas = append(fx.replicas, r)
+		urls[i] = r.srv.URL
+	}
+	fr, err := NewFront(FrontConfig{Primary: fx.primary.srv.URL, Replicas: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.front = fr
+	mux := http.NewServeMux()
+	fr.Register(mux)
+	fx.srv = httptest.NewServer(mux)
+	t.Cleanup(fx.srv.Close)
+	fr.ProbeOnce(context.Background())
+	return fx
+}
+
+func (fx *frontFixture) post(t *testing.T, path, session, body string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, fx.srv.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if session != "" {
+		req.Header.Set(sessionHeader, session)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var out map[string]any
+	json.Unmarshal(raw, &out)
+	return resp.StatusCode, out
+}
+
+func servedBy(t *testing.T, out map[string]any) string {
+	t.Helper()
+	s, _ := out["served_by"].(string)
+	if s == "" {
+		t.Fatalf("response named no backend: %v", out)
+	}
+	return s
+}
+
+// TestFrontSessionAffinity: the same session keeps landing on the same
+// replica; different sessions spread over more than one.
+func TestFrontSessionAffinity(t *testing.T) {
+	fx := newFrontFixture(t, 3)
+	owners := map[string]bool{}
+	for s := 0; s < 16; s++ {
+		session := fmt.Sprintf("sess-%d", s)
+		first := ""
+		for i := 0; i < 5; i++ {
+			code, out := fx.post(t, "/predict", session, "{}")
+			if code != http.StatusOK {
+				t.Fatalf("predict %d", code)
+			}
+			got := servedBy(t, out)
+			if first == "" {
+				first = got
+			} else if got != first {
+				t.Fatalf("session %s moved from %s to %s with no churn", session, first, got)
+			}
+		}
+		owners[first] = true
+	}
+	if len(owners) < 2 {
+		t.Fatalf("16 sessions all hashed to one replica: %v", owners)
+	}
+	if fx.primary.predicts.Load() != 0 {
+		t.Fatalf("primary served %d predicts with a healthy replica set", fx.primary.predicts.Load())
+	}
+}
+
+// TestFrontReadYourWrites: after a learn through the front, the
+// session's predicts go to the primary until the replicas' probed
+// generation catches up — then they pin back to a replica.
+func TestFrontReadYourWrites(t *testing.T) {
+	fx := newFrontFixture(t, 2)
+	code, out := fx.post(t, "/learn", "sess-a", "{}")
+	if code != http.StatusOK {
+		t.Fatalf("learn %d", code)
+	}
+	if fx.primary.learns.Load() != 1 {
+		t.Fatal("learn did not reach the primary")
+	}
+	learned := uint64(out["generation"].(float64))
+	if learned == 0 {
+		t.Fatal("learn response carried no generation")
+	}
+
+	// Replicas are still at generation 0 < learned: predicts must fall
+	// back to the primary, never a stale replica.
+	for i := 0; i < 3; i++ {
+		code, out := fx.post(t, "/predict", "sess-a", "{}")
+		if code != http.StatusOK {
+			t.Fatalf("predict %d", code)
+		}
+		if got := servedBy(t, out); got != "primary" {
+			t.Fatalf("stale replica %s answered below the session floor", got)
+		}
+	}
+	// A different session has no floor and still rides the replicas.
+	if _, out := fx.post(t, "/predict", "sess-b", "{}"); servedBy(t, out) == "primary" {
+		t.Fatal("floor leaked across sessions")
+	}
+
+	// Replicas catch up; after the next probe the session pins back.
+	for _, r := range fx.replicas {
+		r.gen.Store(learned)
+	}
+	fx.front.ProbeOnce(context.Background())
+	code, out = fx.post(t, "/predict", "sess-a", "{}")
+	if code != http.StatusOK {
+		t.Fatalf("predict %d", code)
+	}
+	if got := servedBy(t, out); got == "primary" {
+		t.Fatal("predict stayed on the primary after replicas caught up")
+	}
+}
+
+// TestFrontFailover: killing a replica mid-traffic reroutes its
+// sessions to survivors with no client-visible error, and the dead
+// backend leaves the ring immediately (not at the next probe).
+func TestFrontFailover(t *testing.T) {
+	fx := newFrontFixture(t, 3)
+	sessions := make([]string, 24)
+	owner := map[string]string{}
+	for i := range sessions {
+		sessions[i] = fmt.Sprintf("sess-%d", i)
+		_, out := fx.post(t, "/predict", sessions[i], "{}")
+		owner[sessions[i]] = servedBy(t, out)
+	}
+	victim := fx.replicas[0]
+	victim.srv.Close()
+	for _, s := range sessions {
+		code, out := fx.post(t, "/predict", s, "{}")
+		if code != http.StatusOK {
+			t.Fatalf("session %s got %d after replica death", s, code)
+		}
+		got := servedBy(t, out)
+		if got == victim.name {
+			t.Fatalf("dead replica %s answered", victim.name)
+		}
+		if owner[s] != victim.name && got != owner[s] {
+			t.Fatalf("session %s moved from %s to %s though its owner survived", s, owner[s], got)
+		}
+	}
+}
+
+// TestFrontAdminAndLearnForward: unmatched routes and named-model
+// learns forward to the primary.
+func TestFrontAdminAndLearnForward(t *testing.T) {
+	fx := newFrontFixture(t, 1)
+	resp, err := http.Get(fx.srv.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	if out["admin_by"] != "primary" {
+		t.Fatalf("admin route answered by %v", out)
+	}
+}
+
+// TestFrontReadyz: ready while any replica is healthy, 503 once the
+// whole set is down.
+func TestFrontReadyz(t *testing.T) {
+	fx := newFrontFixture(t, 2)
+	resp, err := http.Get(fx.srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d with healthy replicas", resp.StatusCode)
+	}
+	for _, r := range fx.replicas {
+		r.healthy.Store(false)
+	}
+	fx.front.ProbeOnce(context.Background())
+	resp, err = http.Get(fx.srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz %d with every replica draining", resp.StatusCode)
+	}
+	// Predicts still work via primary fallback.
+	code, out := fx.post(t, "/predict", "sess-x", "{}")
+	if code != http.StatusOK || servedBy(t, out) != "primary" {
+		t.Fatalf("primary fallback failed: %d %v", code, out)
+	}
+}

@@ -1,0 +1,119 @@
+// Package replica is the horizontal scale-out tier: a primary exports
+// model generations over HTTP (Handler), replicas pull and install
+// them (Syncer), and a thin front consistent-hashes sessions across
+// healthy replicas while forwarding every write to the primary
+// (Front). The wire format is the registry snapshot (PULPHD03, CRC
+// framed), so a torn transfer is detected and rejected, and an apply
+// on the replica is one atomic pointer swap — predicts never block on
+// sync.
+package replica
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultVNodes is the virtual-node count per member: enough points
+// that removing one replica of three moves only ~1/3 of the key space,
+// small enough that ring rebuilds stay microseconds.
+const defaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring over backend names.
+// Membership changes build a new Ring (the front swaps it under a
+// lock); lookups are lock-free on the ring itself.
+type Ring struct {
+	points  []ringPoint
+	members []string
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring over members with vnodes virtual nodes each
+// (values below 1 mean defaultVNodes). Member order does not matter:
+// the same membership set always builds the same ring, which is what
+// keeps session→replica assignments stable across fronts and probes.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = defaultVNodes
+	}
+	r := &Ring{members: append([]string(nil), members...)}
+	sort.Strings(r.members)
+	r.points = make([]ringPoint, 0, len(r.members)*vnodes)
+	for _, m := range r.members {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(m + "#" + strconv.Itoa(i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the ring's membership, sorted.
+func (r *Ring) Members() []string { return r.members }
+
+// Pick returns the member owning key, or "" on an empty ring. Keys
+// map to the first virtual node clockwise from the key's hash, so a
+// member leaving only reassigns the keys its own points owned.
+func (r *Ring) Pick(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].member
+}
+
+// PickN returns up to n distinct members in preference order: the
+// owner first, then each next distinct member clockwise — the
+// failover order a front walks when the owner is down.
+func (r *Ring) PickN(key string, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := r.search(key); len(out) < n; i = (i + 1) % len(r.points) {
+		if m := r.points[i].member; !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point at or clockwise of key.
+func (r *Ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// hash64 is FNV-1a with a murmur3-style finalizer. Raw FNV-1a keeps
+// keys that differ only in the last byte (session-1, session-2, ...)
+// within a few multiples of the FNV prime of each other — far smaller
+// than a ring gap, so whole session families would collapse onto one
+// member. The avalanche mix spreads them across the full 64-bit space.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

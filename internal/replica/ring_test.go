@@ -1,0 +1,95 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingChurnStability: removing one member reassigns only that
+// member's keys — everything else keeps its owner — and re-adding the
+// member restores the original assignment exactly. This is the
+// property that makes front failover cheap: a replica crash drains
+// only its own sessions.
+func TestRingChurnStability(t *testing.T) {
+	members := []string{"http://r0", "http://r1", "http://r2", "http://r3"}
+	full := NewRing(members, 0)
+	keys := make([]string, 2000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("default|session-%d", i)
+	}
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = full.Pick(k)
+	}
+	// Every member should own a non-trivial share.
+	share := map[string]int{}
+	for _, owner := range before {
+		share[owner]++
+	}
+	for _, m := range members {
+		if share[m] < len(keys)/len(members)/4 {
+			t.Fatalf("member %s owns only %d/%d keys — vnode spread is broken", m, share[m], len(keys))
+		}
+	}
+
+	down := NewRing([]string{"http://r0", "http://r1", "http://r3"}, 0)
+	moved := 0
+	for _, k := range keys {
+		got := down.Pick(k)
+		if before[k] == "http://r2" {
+			if got == "http://r2" {
+				t.Fatalf("key %q still maps to the removed member", k)
+			}
+			moved++
+			continue
+		}
+		if got != before[k] {
+			t.Fatalf("key %q moved from %s to %s though its owner stayed in the ring", k, before[k], got)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the removed member")
+	}
+
+	restored := NewRing(members, 0)
+	for _, k := range keys {
+		if restored.Pick(k) != before[k] {
+			t.Fatalf("key %q did not return to its original owner after re-add", k)
+		}
+	}
+}
+
+// TestRingPickN: the failover order starts at Pick's answer, yields
+// distinct members, and never exceeds the membership.
+func TestRingPickN(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	ring := NewRing(members, 0)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		order := ring.PickN(key, 5)
+		if len(order) != len(members) {
+			t.Fatalf("PickN(%q, 5) returned %d members, want %d", key, len(order), len(members))
+		}
+		if order[0] != ring.Pick(key) {
+			t.Fatalf("PickN(%q) does not start at Pick's answer", key)
+		}
+		seen := map[string]bool{}
+		for _, m := range order {
+			if seen[m] {
+				t.Fatalf("PickN(%q) repeats member %s", key, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingEmpty: an empty ring answers without panicking.
+func TestRingEmpty(t *testing.T) {
+	ring := NewRing(nil, 0)
+	if got := ring.Pick("anything"); got != "" {
+		t.Fatalf("empty ring picked %q", got)
+	}
+	if got := ring.PickN("anything", 3); len(got) != 0 {
+		t.Fatalf("empty ring PickN returned %v", got)
+	}
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Markdown link checker: every relative link target in the repo's
+# documentation must exist on disk. External (http/mailto) and
+# intra-page (#anchor) links are skipped — this guards the cheap,
+# common rot: a renamed file leaving dangling [text](path) references.
+# Run from the repository root.
+set -euo pipefail
+
+FILES=(README.md DESIGN.md EXPERIMENTS.md internal/README.md)
+while IFS= read -r f; do FILES+=("$f"); done < <(find docs benchmarks -name '*.md' 2>/dev/null | sort)
+
+bad=0
+for md in "${FILES[@]}"; do
+  [ -f "$md" ] || { echo "linkcheck: listed file $md does not exist" >&2; bad=1; continue; }
+  dir=$(dirname "$md")
+  # Pull out every (target) of a [text](target) pair, one per line.
+  # Inline code spans are left in — a false positive there means the
+  # docs are quoting a broken-looking link anyway.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"            # drop an anchor suffix
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "linkcheck: $md links to missing file: $target" >&2
+      bad=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$md" | sed 's/.*(\(.*\))/\1/')
+done
+
+if [ "$bad" != 0 ]; then
+  echo "linkcheck: FAILED" >&2
+  exit 1
+fi
+echo "linkcheck: all relative markdown links resolve (${#FILES[@]} files)"

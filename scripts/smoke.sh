@@ -5,7 +5,12 @@
 # binary into a temp dir.
 set -euo pipefail
 
-ADDR="${SMOKE_ADDR:-localhost:8123}"
+# Random port base so parallel lanes (or a stale listener from an
+# aborted run) don't collide; SMOKE_ADDR pins the single-server
+# sections, SMOKE_PORT_BASE pins the whole range. The replication
+# section uses base+1..base+4.
+PORT_BASE="${SMOKE_PORT_BASE:-$((20000 + RANDOM % 20000))}"
+ADDR="${SMOKE_ADDR:-localhost:$PORT_BASE}"
 BASE="http://$ADDR"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -315,3 +320,117 @@ status=0
 wait "$SERVE_PID" || status=$?
 [ "$status" = 0 ] || slofail "SLO server exited $status on SIGTERM, want 0"
 echo "smoke: SLO breach + flight forensics ok (burn latched, dump on disk)"
+
+# Replication: primary + two replicas + consistent-hash front. A learn
+# through the front must be visible on every replica within a few sync
+# intervals (generation-aware readiness + zero lag gauge), and killing
+# a replica under live predict traffic must produce no client-visible
+# 5xx burst — the front retries the surviving candidate in-request.
+PRIM_ADDR="localhost:$((PORT_BASE + 1))"
+REPA_ADDR="localhost:$((PORT_BASE + 2))"
+REPB_ADDR="localhost:$((PORT_BASE + 3))"
+FRONT_ADDR="localhost:$((PORT_BASE + 4))"
+REPL_STATE="$TMP/state-repl"
+REPL_PIDS=()
+
+replfail() {
+  echo "smoke: $*" >&2
+  for log in serve-primary serve-repa serve-repb serve-front; do
+    echo "--- $log log ---" >&2
+    cat "$TMP/$log.log" >&2 || true
+  done
+  for pid in "${REPL_PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  exit 1
+}
+
+wait_up() { # addr name
+  for i in $(seq 1 50); do
+    if "${CURL[@]}" -sf "http://$1/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    [ "$i" = 50 ] && replfail "$2 /healthz never came up"
+    sleep 0.2
+  done
+}
+
+"$TMP/pulphd" serve -role=primary -metrics-addr "$PRIM_ADDR" -demo=false \
+  -state-dir "$REPL_STATE" -log-format json >"$TMP/serve-primary.log" 2>&1 &
+REPL_PIDS+=($!)
+wait_up "$PRIM_ADDR" "primary"
+"$TMP/pulphd" serve -role=replica -metrics-addr "$REPA_ADDR" \
+  -peers "http://$PRIM_ADDR" -sync-interval 200ms \
+  -log-format json >"$TMP/serve-repa.log" 2>&1 &
+REPL_PIDS+=($!)
+REPA_PID=$!
+"$TMP/pulphd" serve -role=replica -metrics-addr "$REPB_ADDR" \
+  -peers "http://$PRIM_ADDR" -sync-interval 200ms \
+  -log-format json >"$TMP/serve-repb.log" 2>&1 &
+REPL_PIDS+=($!)
+wait_up "$REPA_ADDR" "replica A"
+wait_up "$REPB_ADDR" "replica B"
+"$TMP/pulphd" serve -role=front -metrics-addr "$FRONT_ADDR" \
+  -primary "http://$PRIM_ADDR" -peers "http://$REPA_ADDR,http://$REPB_ADDR" \
+  -sync-interval 200ms -log-format json >"$TMP/serve-front.log" 2>&1 &
+REPL_PIDS+=($!)
+wait_up "$FRONT_ADDR" "front"
+
+# Learn via the front: it must land on the primary and answer the new
+# generation.
+"${CURL[@]}" -sf -o "$TMP/body" -X POST -H 'X-PULPHD-Session: smoke-1' \
+  -d '{"label":"rest","window":[[1,2,3,4]]}' "http://$FRONT_ADDR/learn" \
+  || replfail "learn via front failed"
+GEN=$(sed -n 's/.*"generation":\([0-9]*\).*/\1/p' "$TMP/body")
+[ -n "$GEN" ] && [ "$GEN" -ge 1 ] || replfail "front learn answered no generation: $(cat "$TMP/body")"
+
+# Catch-up: every replica must reach generation >= GEN within a few
+# sync intervals (generation-aware readiness), and its lag gauge must
+# read zero.
+for rep in "$REPA_ADDR" "$REPB_ADDR"; do
+  for i in $(seq 1 50); do
+    code=$("${CURL[@]}" -s -o /dev/null -w '%{http_code}' \
+      "http://$rep/readyz?model=default&min_generation=$GEN")
+    [ "$code" = 200 ] && break
+    [ "$i" = 50 ] && replfail "replica $rep never caught up to generation $GEN"
+    sleep 0.2
+  done
+  "${CURL[@]}" -sf -o "$TMP/body" "http://$rep/metrics" || replfail "replica $rep /metrics failed"
+  grep -q '^pulphd_replica_lag_generations{model="default"} 0' "$TMP/body" \
+    || replfail "replica $rep lag gauge did not return to 0"
+done
+echo "smoke: replication catch-up ok (generation $GEN on every replica, lag 0)"
+
+# Predicts via the front serve from replicas after catch-up.
+"${CURL[@]}" -sf -o "$TMP/body" -X POST -H 'X-PULPHD-Session: smoke-1' \
+  -d '{"window":[[1,2,3,4]]}' "http://$FRONT_ADDR/predict" \
+  || replfail "predict via front failed"
+grep -q '"label":"rest"' "$TMP/body" || replfail "front predict lost the learned label"
+
+# Kill replica A mid-traffic: 40 predicts across distinct sessions
+# while the process dies; no request may answer 5xx (the front retries
+# the surviving replica / primary in-request).
+kill -9 "$REPA_PID" 2>/dev/null || true
+bad=0
+for i in $(seq 1 40); do
+  code=$("${CURL[@]}" -s -o /dev/null -w '%{http_code}' -X POST \
+    -H "X-PULPHD-Session: churn-$i" \
+    -d '{"window":[[1,2,3,4]]}' "http://$FRONT_ADDR/predict")
+  case "$code" in
+    5*) bad=$((bad + 1)) ;;
+    200) ;;
+    *) replfail "predict during replica kill answered $code" ;;
+  esac
+done
+[ "$bad" = 0 ] || replfail "$bad/40 predicts answered 5xx during replica kill"
+echo "smoke: replica kill under traffic ok (0 client-visible 5xx)"
+
+# Sync-lag metrics artifact: the surviving replica's full /metrics for
+# the CI upload, so lag/sync counters are inspectable per run.
+if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$SMOKE_ARTIFACT_DIR"
+  "${CURL[@]}" -s -o "$SMOKE_ARTIFACT_DIR/replica-sync-metrics.txt" "http://$REPB_ADDR/metrics" || true
+  "${CURL[@]}" -s -o "$SMOKE_ARTIFACT_DIR/front-metrics.txt" "http://$FRONT_ADDR/metrics" || true
+fi
+
+for pid in "${REPL_PIDS[@]}"; do kill -TERM "$pid" 2>/dev/null || true; done
+for pid in "${REPL_PIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+echo "smoke: replication tier ok (primary + 2 replicas + front)"
